@@ -1,0 +1,77 @@
+"""Benches: the DESIGN.md ablation studies.
+
+Each quantifies a claim the paper makes in passing — dead intervals are
+nearly free (§3.1), the findings are robust to the inflection point
+(§4.3) — plus two model-sensitivity checks (ramp shape, decay-counter
+overhead).
+"""
+
+from conftest import report
+
+from repro.experiments.ablations import (
+    run_dead_intervals,
+    run_decay_counter,
+    run_inflection_perturbation,
+    run_ramp_shape,
+)
+
+
+def test_ablation_dead_intervals(benchmark, warm_suite):
+    result = benchmark.pedantic(
+        run_dead_intervals, args=(warm_suite,), rounds=1, iterations=1
+    )
+    for row in result.tables[0].rows:
+        # §3.1: "dead periods did not contribute a large amount" — the
+        # dead-aware delta stays under 3 points.
+        assert abs(float(row[3])) < 3.0
+    report(result)
+
+
+def test_ablation_ramps(benchmark, warm_suite):
+    result = benchmark.pedantic(
+        run_ramp_shape, args=(warm_suite,), rounds=1, iterations=1
+    )
+    rows = {row[0]: row for row in result.tables[0].rows}
+    # The step model inflates transition energy: a moves up with it.
+    assert float(rows["step"][2]) >= float(rows["trapezoidal"][2])
+    # The savings barely move: the limits are transition-model-robust.
+    assert abs(float(rows["step"][3]) - float(rows["trapezoidal"][3])) < 2.0
+    report(result)
+
+
+def test_ablation_decay_counter(benchmark, warm_suite):
+    result = benchmark.pedantic(
+        run_decay_counter, args=(warm_suite,), rounds=1, iterations=1
+    )
+    rows = result.tables[0].rows
+    # Savings decrease monotonically with counter overhead.
+    for column in (1, 2):
+        values = [float(row[column]) for row in rows]
+        assert values == sorted(values, reverse=True)
+    report(result)
+
+
+def test_ablation_inflection(benchmark, warm_suite):
+    result = benchmark.pedantic(
+        run_inflection_perturbation, args=(warm_suite,), rounds=1, iterations=1
+    )
+    rows = result.tables[0].rows
+    # §4.3: small variances of b do not change the findings.
+    for column in (1, 2):
+        assert abs(float(rows[0][column]) - float(rows[1][column])) < 1.0
+    report(result)
+
+
+def test_futurework_tradeoff(benchmark, warm_suite):
+    """§5.2's promised study: the Prefetch-A..B frontier."""
+    from repro.experiments.futurework import compute, run as run_tradeoff
+
+    measured = benchmark.pedantic(compute, args=(warm_suite,), rounds=1, iterations=1)
+    for cache in ("icache", "dcache"):
+        savings = [p.saving_fraction for p in measured[cache]]
+        stalls = [p.stall_overhead for p in measured[cache]]
+        # The frontier trades monotonically: more savings, more stalls.
+        assert savings == sorted(savings, reverse=True)
+        assert stalls == sorted(stalls, reverse=True)
+        assert stalls[-1] == 0.0  # the A endpoint never stalls
+    report(run_tradeoff(warm_suite))

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 1 (ITRS leakage-fraction projection)."""
+
+from conftest import report
+
+from repro.experiments.figure1 import run as run_figure1
+from repro.power.itrs import projection_series
+
+
+def test_figure1(benchmark):
+    series = benchmark(projection_series, 1999, 2009, 2)
+    fractions = [fraction for _, fraction in series]
+    assert fractions == sorted(fractions)
+    assert fractions[0] < 0.1 < 0.5 < fractions[-1]
+    report(run_figure1())

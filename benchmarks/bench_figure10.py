@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 10 (the three-mode energy lower envelope)."""
+
+import numpy as np
+from conftest import report
+
+from repro.core.energy import ModeEnergyModel
+from repro.core.envelope import envelope_array, envelope_series
+from repro.experiments.figure10 import run as run_figure10
+from repro.power.technology import paper_nodes
+
+
+def test_figure10(benchmark):
+    model = ModeEnergyModel(paper_nodes()[70])
+    series = benchmark(envelope_series, model, 20_000, 64)
+    lengths = np.array([row[0] for row in series])
+    envelope = envelope_array(model, lengths)
+    # The envelope is the pointwise minimum of the feasible modes.
+    for (length, active, drowsy, sleep), env in zip(series, envelope):
+        feasible = [v for v in (active, drowsy, sleep) if v == v]
+        assert env == min(feasible)
+    report(run_figure10())
+
+
+def test_envelope_throughput(benchmark):
+    """Vectorized envelope over one million interval lengths."""
+    model = ModeEnergyModel(paper_nodes()[70])
+    rng = np.random.default_rng(0)
+    lengths = rng.integers(1, 10**6, size=1_000_000)
+    result = benchmark(envelope_array, model, lengths)
+    assert result.shape == lengths.shape

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 7 (hybrid vs sleep over the sleep threshold)."""
+
+from conftest import report
+
+from repro.experiments.figure7 import DEFAULT_THRESHOLDS, compute, run as run_figure7
+
+
+def test_figure7(benchmark, warm_suite):
+    series = benchmark.pedantic(
+        compute, args=(warm_suite, DEFAULT_THRESHOLDS), rounds=1, iterations=1
+    )
+    for cache in ("icache", "dcache"):
+        sleep = series[cache]["sleep"]
+        hybrid = series[cache]["hybrid"]
+        # The hybrid dominates pure sleep at every threshold.
+        assert all(h >= s - 1e-9 for h, s in zip(hybrid, sleep))
+        # Pure sleep degrades as the threshold rises; the hybrid barely moves.
+        assert sleep[0] > sleep[-1]
+        assert hybrid[0] - hybrid[-1] < sleep[0] - sleep[-1]
+        # Near the inflection point the two nearly converge (paper §4.3).
+        assert hybrid[0] - sleep[0] < 0.03
+    report(run_figure7(warm_suite))

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 9 (prefetchability of intervals)."""
+
+from conftest import report
+
+from repro.experiments.figure9 import compute, run as run_figure9
+
+
+def test_figure9(benchmark, warm_suite):
+    measured = benchmark.pedantic(compute, args=(warm_suite,), rounds=1, iterations=1)
+    # Paper: I-cache P-NL = 23%; D-cache P-NL = 16.3%, P-stride = 5.1%.
+    assert abs(measured["icache"]["nextline"] - 0.230) < 0.08
+    assert measured["icache"]["stride"] < 0.02
+    assert abs(measured["dcache"]["nextline"] - 0.163) < 0.08
+    assert 0.005 < measured["dcache"]["stride"] < 0.12
+    # Stride prefetching only matters on the data side (paper §5.1).
+    assert measured["dcache"]["stride"] > measured["icache"]["stride"]
+    report(run_figure9(warm_suite))

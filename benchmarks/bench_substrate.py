@@ -1,0 +1,102 @@
+"""Benches: substrate throughput (simulator, policies, prefetch analysis).
+
+Not paper artifacts — these track the performance of the machinery the
+experiments run on, so regressions in the hot loops are visible.
+"""
+
+import numpy as np
+
+from repro.core.energy import ModeEnergyModel
+from repro.core.intervals import IntervalSet
+from repro.core.policy import OptHybrid
+from repro.core.savings import evaluate_policy
+from repro.cpu.simulator import TraceSimulator
+from repro.power.technology import paper_nodes
+from repro.prefetch.analysis import AnnotatingSimulator
+from repro.simpoint.bbv import profile_trace
+from repro.workloads import make_gzip
+
+
+def test_simulator_throughput(benchmark):
+    """Instructions per second through the trace-driven simulator."""
+
+    def run():
+        workload = make_gzip(scale=0.05)
+        return TraceSimulator().run(workload.chunks())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.instructions > 50_000
+    benchmark.extra_info["instructions"] = result.instructions
+
+
+def test_annotating_simulator_throughput(benchmark):
+    """The prefetch-annotated path costs only modestly more."""
+
+    def run():
+        workload = make_gzip(scale=0.05)
+        return AnnotatingSimulator().run(workload.chunks())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.result.instructions > 50_000
+
+
+def test_policy_evaluation_throughput(benchmark):
+    """Vectorized Figure 5 accumulation over one million intervals."""
+    model = ModeEnergyModel(paper_nodes()[70])
+    rng = np.random.default_rng(0)
+    intervals = IntervalSet(rng.integers(1, 10**6, size=1_000_000))
+    policy = OptHybrid(model)
+    result = benchmark(evaluate_policy, policy, intervals)
+    assert 0.9 < result.saving_fraction < 1.0
+
+
+def test_bbv_profiling_throughput(benchmark):
+    """SimPoint profiling cost over a gzip trace."""
+
+    def run():
+        return profile_trace(make_gzip(scale=0.05).chunks(), window_instructions=10_000)
+
+    profile = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert profile.n_windows >= 5
+
+
+def test_functional_decay_cache(benchmark):
+    """The functional cache-decay mechanism on a random reuse stream.
+
+    Cross-checks the mechanism's integrated energy account against the
+    analytic Sleep(10K) pricing on the identical access stream.
+    """
+    from repro.cache.cache import SetAssociativeCache
+    from repro.cache.config import CacheConfig
+    from repro.cache.decay import DecayCache
+    from repro.core.policy import DecaySleep
+    from repro.core.savings import evaluate_policy
+
+    rng = np.random.default_rng(7)
+    config = CacheConfig("decay", 64 * 1024, 64, 2, 1)
+    model = ModeEnergyModel(paper_nodes()[70])
+    events = []
+    time = 0
+    for _ in range(20_000):
+        time += int(rng.choice([2, 30, 800, 25_000], p=[0.5, 0.3, 0.15, 0.05]))
+        events.append((int(rng.integers(0, 2048)), time))
+    end_time = events[-1][1] + 1
+
+    def run():
+        cache = DecayCache(config, model, decay_interval=10_000)
+        for block, t in events:
+            cache.access(block, t)
+        cache.finish(end_time)
+        return cache.energy_report()
+
+    report_ = benchmark.pedantic(run, rounds=2, iterations=1)
+
+    tracked = SetAssociativeCache(config)
+    for block, t in events:
+        tracked.access_block(block, t)
+    tracked.finish(end_time)
+    analytic = evaluate_policy(
+        DecaySleep(model, 10_000, counter_overhead=0.0),
+        tracked.intervals().as_normal(),
+    )
+    assert abs(report_.saving_fraction - analytic.saving_fraction) < 0.02

@@ -1,0 +1,37 @@
+"""Bench: regenerate Table 1 (inflection points per technology node).
+
+Asserts the reproduction is *exact* (1057 / 5088 / 10328 / 103084 cycles)
+and measures the analytic solve.
+"""
+
+from conftest import report
+
+from repro.core.energy import ModeEnergyModel
+from repro.core.inflection import inflection_points_for_node
+from repro.experiments.table1 import run as run_table1
+from repro.power.technology import PAPER_INFLECTION_POINTS, paper_nodes
+
+
+def test_table1(benchmark):
+    nodes = paper_nodes()
+
+    def regenerate():
+        return {
+            nm: inflection_points_for_node(node) for nm, node in nodes.items()
+        }
+
+    points = benchmark(regenerate)
+    for nm, expected in PAPER_INFLECTION_POINTS.items():
+        assert points[nm].drowsy_sleep_cycles == expected
+        assert points[nm].active_drowsy == 6
+    report(run_table1())
+
+
+def test_table1_solver_throughput(benchmark):
+    """Microbenchmark: one closed-form Equation 3 solve."""
+    model = ModeEnergyModel(paper_nodes()[70])
+
+    from repro.core.inflection import solve_sleep_drowsy_point
+
+    value = benchmark(solve_sleep_drowsy_point, model)
+    assert round(value) == 1057

@@ -1,0 +1,34 @@
+"""Calibration harness: measure interval masses and scheme savings per benchmark."""
+import sys, time
+sys.path.insert(0, 'src')
+import numpy as np
+from repro.workloads import paper_suite
+from repro.cpu import simulate_trace
+from repro.power import paper_nodes
+from repro.core import (ModeEnergyModel, OptDrowsy, OptSleep, DecaySleep, OptHybrid,
+                        evaluate_policy)
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+node = paper_nodes()[70]
+m = ModeEnergyModel(node)
+policies = lambda: [OptDrowsy(m, name="OPT-Drowsy"), DecaySleep(m, 10_000),
+                    OptSleep(m, 10_000), OptSleep(m, name="OPT-Sleep"), OptHybrid(m)]
+rows = {"I": [], "D": []}
+for name, wl in paper_suite(scale).items():
+    t0 = time.time()
+    res = simulate_trace(wl.chunks())
+    for label, ivs in (("I", res.l1i_intervals), ("D", res.l1d_intervals)):
+        ivs = ivs.as_normal()
+        mass = ivs.cycle_mass_by_class([6, 1057, 10000])
+        savs = [evaluate_policy(p, ivs).saving_fraction for p in policies()]
+        rows[label].append(savs)
+        print(f"{name:8s} {label} mass={['%.3f'%v for v in mass]} "
+              f"drowsy={savs[0]:.3f} sleep10K={savs[1]:.3f} optsleep10K={savs[2]:.3f} "
+              f"optsleep={savs[3]:.3f} hybrid={savs[4]:.3f}")
+    print(f"   ({res.instructions} instr, ipc={res.ipc:.2f}, {time.time()-t0:.1f}s)")
+for label in ("I", "D"):
+    avg = np.mean(rows[label], axis=0)
+    print(f"AVG {label}: drowsy={avg[0]:.3f} sleep10K={avg[1]:.3f} "
+          f"optsleep10K={avg[2]:.3f} optsleep={avg[3]:.3f} hybrid={avg[4]:.3f}")
+print("paper  I: drowsy=0.664 sleep10K=0.704 optsleep10K=0.804 optsleep=0.952 hybrid=0.964")
+print("paper  D: drowsy=0.661 sleep10K=0.841 optsleep10K=0.871 optsleep=0.984 hybrid=0.991")

@@ -1,0 +1,48 @@
+"""Cache substrate: set-associative caches, hierarchy, generation tracking.
+
+This subpackage stands in for the memory system of the paper's
+SimpleScalar/Alpha-21264 setup (§4.1): 64 KB 2-way L1I (1-cycle), 64 KB
+2-way L1D (3-cycle), 2 MB direct-mapped unified L2 (7-cycle), LRU
+replacement, 64 B lines.
+"""
+
+from .cache import INVALID, SetAssociativeCache
+from .decay import COUNTER_LIMIT, DecayCache, DecayEnergyReport
+from .config import (
+    CacheConfig,
+    paper_l1d_config,
+    paper_l1i_config,
+    paper_l2_config,
+)
+from .generations import GenerationTracker
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+from .stats import CacheStats, HierarchyStats
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "COUNTER_LIMIT",
+    "DecayCache",
+    "DecayEnergyReport",
+    "FifoPolicy",
+    "GenerationTracker",
+    "HierarchyConfig",
+    "HierarchyStats",
+    "INVALID",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "make_replacement_policy",
+    "paper_l1d_config",
+    "paper_l1i_config",
+    "paper_l2_config",
+]

@@ -1,0 +1,131 @@
+"""Cache generation tracking: from access events to interval populations.
+
+A cache *generation* (Kaxiras et al. [6]) is the residency of one memory
+block in one cache frame: fill, zero or more re-accesses (the *live*
+period), then a *dead* period until eviction.  The limit analysis needs,
+for every frame, the cycle gaps between consecutive accesses — this
+tracker converts the cache's event stream into an
+:class:`~repro.core.intervals.IntervalSet` without retaining full access
+histories.
+
+Interval kinds produced:
+
+* a gap between two accesses within a generation — ``NORMAL``;
+* the gap from a generation's last access to its eviction (the fill of
+  the next generation) — ``DEAD``;
+* the gap from the start of observation to a frame's first fill, and the
+  whole timeline of frames never used — ``COLD``;
+* the gap from the final access to the end of simulation — ``DEAD`` (the
+  oracle knows the program ends; data is never needed again).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..core.intervals import IntervalKind, IntervalSet
+
+
+class GenerationTracker:
+    """Streaming per-frame interval collector.
+
+    Parameters
+    ----------
+    n_frames:
+        Number of cache frames being observed.
+    start_time:
+        Cycle at which observation begins (frames are empty/cold then).
+    """
+
+    def __init__(self, n_frames: int, start_time: int = 0) -> None:
+        if n_frames <= 0:
+            raise SimulationError(f"tracker needs frames, got {n_frames!r}")
+        self.n_frames = n_frames
+        self.start_time = start_time
+        self._last_access = [-1] * n_frames
+        self._lengths: List[int] = []
+        self._kinds: List[int] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Event intake (called by the cache on every access)
+    # ------------------------------------------------------------------
+
+    def on_hit(self, frame: int, time: int) -> None:
+        """A hit re-accesses the resident generation."""
+        last = self._last_access[frame]
+        if time < last:
+            raise SimulationError(
+                f"time moved backwards on frame {frame}: {last} -> {time}"
+            )
+        gap = time - last
+        if gap > 0:
+            self._lengths.append(gap)
+            self._kinds.append(IntervalKind.NORMAL)
+        self._last_access[frame] = time
+
+    def on_fill(self, frame: int, time: int) -> None:
+        """A miss fills the frame, starting a new generation.
+
+        Closes the previous generation with a ``DEAD`` interval (or the
+        frame's initial ``COLD`` interval if this is its first use).
+        """
+        last = self._last_access[frame]
+        if last == -1:
+            gap = time - self.start_time
+            kind = IntervalKind.COLD
+        else:
+            if time < last:
+                raise SimulationError(
+                    f"time moved backwards on frame {frame}: {last} -> {time}"
+                )
+            gap = time - last
+            kind = IntervalKind.DEAD
+        if gap > 0:
+            self._lengths.append(gap)
+            self._kinds.append(kind)
+        self._last_access[frame] = time
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finish(self, end_time: int) -> None:
+        """Close every frame's timeline at ``end_time``.
+
+        Idempotent only in the sense that it may be called once; further
+        events are rejected afterwards.
+        """
+        if self._finished:
+            raise SimulationError("tracker already finished")
+        for frame in range(self.n_frames):
+            last = self._last_access[frame]
+            if last == -1:
+                gap = end_time - self.start_time
+                kind = IntervalKind.COLD
+            else:
+                if end_time < last:
+                    raise SimulationError(
+                        f"end_time {end_time} precedes last access {last} "
+                        f"on frame {frame}"
+                    )
+                gap = end_time - last
+                kind = IntervalKind.DEAD
+            if gap > 0:
+                self._lengths.append(gap)
+                self._kinds.append(kind)
+        self._finished = True
+
+    def intervals(self) -> IntervalSet:
+        """The collected interval population (call :meth:`finish` first)."""
+        if not self._finished:
+            raise SimulationError(
+                "call finish(end_time) before extracting intervals"
+            )
+        return IntervalSet(
+            np.asarray(self._lengths, dtype=np.int64),
+            np.asarray(self._kinds, dtype=np.uint8),
+        )

@@ -1,0 +1,122 @@
+"""The paper's three-level memory hierarchy (§4.1).
+
+L1 instruction and data caches backed by a unified L2, which is backed by
+main memory.  Each access returns the latency the pipeline model should
+charge; the L1 caches carry generation trackers so per-frame access
+intervals can be extracted after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .cache import SetAssociativeCache
+from .config import (
+    CacheConfig,
+    paper_l1d_config,
+    paper_l1i_config,
+    paper_l2_config,
+)
+from .stats import HierarchyStats
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Configuration of the full hierarchy.
+
+    ``memory_latency`` is the L2-miss penalty to main memory in cycles.
+    """
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    memory_latency: int = 100
+
+    def __post_init__(self) -> None:
+        if self.memory_latency <= 0:
+            raise ConfigurationError(
+                f"memory latency must be positive, got {self.memory_latency!r}"
+            )
+        if len({self.l1i.line_bytes, self.l1d.line_bytes, self.l2.line_bytes}) != 1:
+            raise ConfigurationError(
+                "all levels must share one line size in this model"
+            )
+
+    @classmethod
+    def paper(cls) -> "HierarchyConfig":
+        """The Alpha 21264-like hierarchy of §4.1."""
+        return cls(paper_l1i_config(), paper_l1d_config(), paper_l2_config())
+
+
+class MemoryHierarchy:
+    """L1I + L1D over a unified L2 over main memory.
+
+    Parameters
+    ----------
+    config:
+        Geometry/timing for all levels; defaults to the paper's.
+    track_l2:
+        Track L2 generations too (off by default: the paper studies L1
+        leakage, and L2 tracking costs time and memory).
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        replacement: str = "lru",
+        track_l2: bool = False,
+    ) -> None:
+        self.config = config if config is not None else HierarchyConfig.paper()
+        self.l1i = SetAssociativeCache(self.config.l1i, replacement)
+        self.l1d = SetAssociativeCache(self.config.l1d, replacement)
+        self.l2 = SetAssociativeCache(
+            self.config.l2, replacement, track_generations=track_l2
+        )
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Access paths (return the latency in cycles)
+    # ------------------------------------------------------------------
+
+    def fetch_instruction(self, address: int, time: int) -> int:
+        """Instruction fetch; returns its latency in cycles."""
+        block = address >> self.config.l1i.offset_bits
+        if self.l1i.access_block(block, time):
+            return self.config.l1i.hit_latency
+        return self._access_l2(block, time)
+
+    def access_data(self, address: int, time: int, is_store: bool = False) -> int:
+        """Data load/store; returns its latency in cycles.
+
+        Stores are modelled write-allocate/write-back, so they walk the
+        same fill path as loads.
+        """
+        block = address >> self.config.l1d.offset_bits
+        if self.l1d.access_block(block, time):
+            return self.config.l1d.hit_latency
+        return self._access_l2(block, time)
+
+    def _access_l2(self, block: int, time: int) -> int:
+        if self.l2.access_block(block, time):
+            return self.config.l2.hit_latency
+        return self.config.l2.hit_latency + self.config.memory_latency
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def finish(self, end_time: int) -> None:
+        """Close all generation timelines at the end of simulation."""
+        self.l1i.finish(end_time)
+        self.l1d.finish(end_time)
+        if self.l2.tracker is not None:
+            self.l2.finish(end_time)
+        self._finished = True
+
+    def stats(self) -> HierarchyStats:
+        """Per-level statistics."""
+        stats = HierarchyStats()
+        for cache in (self.l1i, self.l1d, self.l2):
+            stats.levels[cache.config.name] = cache.stats
+        return stats

@@ -1,0 +1,119 @@
+"""Replacement policies for the set-associative cache.
+
+The paper uses LRU throughout the hierarchy; FIFO and random are provided
+for tests and for sensitivity studies (interval distributions are mildly
+replacement-sensitive, which the ablation benches can demonstrate).
+
+A policy instance is bound to one cache's geometry and tracks whatever
+per-set state it needs.  The cache calls :meth:`on_access` for every hit
+or fill and :meth:`victim_way` when a set is full.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+
+
+class ReplacementPolicy:
+    """Interface: pick victims within a set and observe accesses."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        if n_sets <= 0 or associativity <= 0:
+            raise ConfigurationError(
+                f"invalid geometry for replacement policy: "
+                f"{(n_sets, associativity)!r}"
+            )
+        self.n_sets = n_sets
+        self.associativity = associativity
+
+    def on_access(self, set_index: int, way: int, time: int) -> None:
+        """Observe a hit or fill of ``way`` in ``set_index`` at ``time``."""
+        raise NotImplementedError
+
+    def victim_way(self, set_index: int) -> int:
+        """Choose the way to evict from a full set."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history (cache flush)."""
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used, via per-frame last-touch timestamps."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        super().__init__(n_sets, associativity)
+        self._last_touch = [-1] * (n_sets * associativity)
+
+    def on_access(self, set_index: int, way: int, time: int) -> None:
+        self._last_touch[set_index * self.associativity + way] = time
+
+    def victim_way(self, set_index: int) -> int:
+        base = set_index * self.associativity
+        touches = self._last_touch[base : base + self.associativity]
+        return touches.index(min(touches))
+
+    def reset(self) -> None:
+        self._last_touch = [-1] * (self.n_sets * self.associativity)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the oldest *fill*, ignoring hits."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        super().__init__(n_sets, associativity)
+        self._next_way = [0] * n_sets
+
+    def on_access(self, set_index: int, way: int, time: int) -> None:
+        # FIFO ignores reference recency entirely.
+        return None
+
+    def victim_way(self, set_index: int) -> int:
+        way = self._next_way[set_index]
+        self._next_way[set_index] = (way + 1) % self.associativity
+        return way
+
+    def reset(self) -> None:
+        self._next_way = [0] * self.n_sets
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (seeded for reproducibility)."""
+
+    def __init__(self, n_sets: int, associativity: int, seed: int = 0) -> None:
+        super().__init__(n_sets, associativity)
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def on_access(self, set_index: int, way: int, time: int) -> None:
+        return None
+
+    def victim_way(self, set_index: int) -> int:
+        return self._rng.randrange(self.associativity)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+REPLACEMENT_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_replacement_policy(
+    name: str, n_sets: int, associativity: int
+) -> ReplacementPolicy:
+    """Factory from a policy name (``lru``, ``fifo``, ``random``)."""
+    try:
+        cls = REPLACEMENT_POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; "
+            f"known: {sorted(REPLACEMENT_POLICIES)}"
+        ) from None
+    return cls(n_sets, associativity)

@@ -1,0 +1,75 @@
+"""Cache access statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one cache level during simulation."""
+
+    name: str = ""
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    compulsory_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access (0 when no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine counters from another stats object (same cache name)."""
+        return CacheStats(
+            name=self.name or other.name,
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            compulsory_misses=self.compulsory_misses + other.compulsory_misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for reports."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "compulsory_misses": self.compulsory_misses,
+            "evictions": self.evictions,
+            "miss_rate": self.miss_rate,
+        }
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.name}: {self.accesses} accesses, "
+            f"{100 * self.miss_rate:.2f}% miss rate, "
+            f"{self.evictions} evictions"
+        )
+
+
+@dataclass
+class HierarchyStats:
+    """Statistics for every level of a memory hierarchy."""
+
+    levels: Dict[str, CacheStats] = field(default_factory=dict)
+
+    def level(self, name: str) -> CacheStats:
+        """Stats for one level, creating an empty record if needed."""
+        if name not in self.levels:
+            self.levels[name] = CacheStats(name=name)
+        return self.levels[name]
+
+    def describe(self) -> str:
+        """Multi-line summary of every level."""
+        return "\n".join(stats.describe() for stats in self.levels.values())

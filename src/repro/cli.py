@@ -1,0 +1,93 @@
+"""Command-line interface: ``repro-leakage`` / ``python -m repro``.
+
+Regenerates any of the paper's tables and figures::
+
+    repro-leakage list
+    repro-leakage table1
+    repro-leakage figure8 --scale 0.5
+    repro-leakage all --scale 0.5 --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .experiments.runner import experiment_names, run_all, run_experiment
+from .experiments.suite import SuiteRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-leakage",
+        description=(
+            "Reproduce 'On the Limits of Leakage Power Reduction in Caches' "
+            "(HPCA 2005): oracle leakage limits, technology sweeps and "
+            "prefetch-guided approximations."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', or 'list' to enumerate experiments",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (1.0 = calibration length, ~2M instructions "
+        "per benchmark; smaller is faster)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="restrict the suite to these benchmarks",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="DIR",
+        help="also export every table as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+    suite = SuiteRunner(scale=args.scale, benchmarks=args.benchmarks)
+    try:
+        if args.experiment == "all":
+            results = run_all(suite)
+        else:
+            results = [run_experiment(args.experiment, suite)]
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = "\n\n\n".join(result.render() for result in results)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    if args.csv:
+        from .experiments.reporting import save_csv
+
+        for result in results:
+            save_csv(result, args.csv)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

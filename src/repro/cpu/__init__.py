@@ -1,0 +1,40 @@
+"""CPU substrate: traces, pipeline timing, trace-driven simulation.
+
+The reproduction's substitute for SimpleScalar's sim-alpha (DESIGN.md
+§3.4): traces of retired instructions are timed by a 4-wide in-order
+issue model and driven through the cache hierarchy to produce the
+per-frame access-interval populations the limit study consumes.
+"""
+
+from .pipeline import IssueClock, PipelineConfig
+from .simulator import SimulationResult, TraceSimulator, simulate_trace
+from .trace import (
+    LOAD,
+    NO_ACCESS,
+    STORE,
+    Access,
+    TraceChunk,
+    load_trace_npz,
+    load_trace_text,
+    merge_chunks,
+    save_trace_npz,
+    save_trace_text,
+)
+
+__all__ = [
+    "Access",
+    "IssueClock",
+    "LOAD",
+    "NO_ACCESS",
+    "PipelineConfig",
+    "STORE",
+    "SimulationResult",
+    "TraceChunk",
+    "TraceSimulator",
+    "load_trace_npz",
+    "load_trace_text",
+    "merge_chunks",
+    "save_trace_npz",
+    "save_trace_text",
+    "simulate_trace",
+]

@@ -1,0 +1,219 @@
+"""Instruction/data access traces.
+
+The reproduction is trace-driven (the substitute for SimpleScalar running
+Alpha binaries — see DESIGN.md §3.4): a trace is a sequence of retired
+instructions, each carrying its fetch PC and at most one data access.
+Traces are held column-wise in :class:`TraceChunk` objects (numpy arrays)
+and streamed chunk-by-chunk so multi-million-instruction workloads never
+materialize object lists.
+
+Two interchange formats are supported:
+
+* ``.npz`` — the native format (compressed numpy columns);
+* a line-oriented text format ``pc[,daddr,L|S]`` for human-written test
+  fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+
+#: Data-kind codes in a chunk's ``data_kinds`` column.
+NO_ACCESS, LOAD, STORE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class Access:
+    """Scalar view of one retired instruction."""
+
+    pc: int
+    data_address: Optional[int] = None
+    is_store: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise TraceError(f"pc cannot be negative, got {self.pc!r}")
+        if self.data_address is not None and self.data_address < 0:
+            raise TraceError(
+                f"data address cannot be negative, got {self.data_address!r}"
+            )
+        if self.is_store and self.data_address is None:
+            raise TraceError("a store must carry a data address")
+
+
+class TraceChunk:
+    """A column-wise batch of instructions.
+
+    Attributes
+    ----------
+    pcs: fetch addresses (int64).
+    data_addresses: data addresses, ``-1`` where the instruction has none.
+    data_kinds: ``NO_ACCESS`` / ``LOAD`` / ``STORE`` per instruction.
+    """
+
+    def __init__(
+        self,
+        pcs: Sequence[int] | np.ndarray,
+        data_addresses: Sequence[int] | np.ndarray | None = None,
+        data_kinds: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
+        pcs = np.asarray(pcs, dtype=np.int64)
+        if pcs.ndim != 1:
+            raise TraceError(f"pcs must be one-dimensional, got shape {pcs.shape}")
+        if pcs.size and int(pcs.min()) < 0:
+            raise TraceError("pcs cannot be negative")
+        n = pcs.size
+        if data_addresses is None:
+            data_addresses = np.full(n, -1, dtype=np.int64)
+        else:
+            data_addresses = np.asarray(data_addresses, dtype=np.int64)
+        if data_kinds is None:
+            data_kinds = np.where(data_addresses >= 0, LOAD, NO_ACCESS).astype(
+                np.uint8
+            )
+        else:
+            data_kinds = np.asarray(data_kinds, dtype=np.uint8)
+        if data_addresses.shape != pcs.shape or data_kinds.shape != pcs.shape:
+            raise TraceError("trace columns must share one shape")
+        if bool(np.any((data_kinds != NO_ACCESS) & (data_addresses < 0))):
+            raise TraceError("a load/store row must carry a data address")
+        if bool(np.any((data_kinds == NO_ACCESS) & (data_addresses >= 0))):
+            raise TraceError("a no-access row cannot carry a data address")
+        if data_kinds.size and int(data_kinds.max()) > STORE:
+            raise TraceError("data_kinds contains an unknown code")
+        self.pcs = pcs
+        self.data_addresses = data_addresses
+        self.data_kinds = data_kinds
+
+    def __len__(self) -> int:
+        return int(self.pcs.size)
+
+    def __iter__(self) -> Iterator[Access]:
+        for pc, addr, kind in zip(self.pcs, self.data_addresses, self.data_kinds):
+            yield Access(
+                int(pc),
+                int(addr) if kind != NO_ACCESS else None,
+                bool(kind == STORE),
+            )
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[Access]) -> "TraceChunk":
+        """Build a chunk from scalar records (test convenience)."""
+        accesses = list(accesses)
+        pcs = np.array([a.pc for a in accesses], dtype=np.int64)
+        addrs = np.array(
+            [a.data_address if a.data_address is not None else -1 for a in accesses],
+            dtype=np.int64,
+        )
+        kinds = np.array(
+            [
+                NO_ACCESS
+                if a.data_address is None
+                else (STORE if a.is_store else LOAD)
+                for a in accesses
+            ],
+            dtype=np.uint8,
+        )
+        return cls(pcs, addrs, kinds)
+
+    def concat(self, other: "TraceChunk") -> "TraceChunk":
+        """Concatenate two chunks."""
+        return TraceChunk(
+            np.concatenate([self.pcs, other.pcs]),
+            np.concatenate([self.data_addresses, other.data_addresses]),
+            np.concatenate([self.data_kinds, other.data_kinds]),
+        )
+
+    def slice(self, start: int, stop: int) -> "TraceChunk":
+        """A sub-chunk covering instructions ``start..stop``."""
+        return TraceChunk(
+            self.pcs[start:stop],
+            self.data_addresses[start:stop],
+            self.data_kinds[start:stop],
+        )
+
+
+def merge_chunks(chunks: Iterable[TraceChunk]) -> TraceChunk:
+    """Concatenate many chunks into one."""
+    chunks = list(chunks)
+    if not chunks:
+        return TraceChunk(np.empty(0, dtype=np.int64))
+    return TraceChunk(
+        np.concatenate([c.pcs for c in chunks]),
+        np.concatenate([c.data_addresses for c in chunks]),
+        np.concatenate([c.data_kinds for c in chunks]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Interchange formats
+# ----------------------------------------------------------------------
+
+
+def save_trace_npz(path: str | Path, chunk: TraceChunk) -> None:
+    """Write a chunk in the native compressed format."""
+    np.savez_compressed(
+        Path(path),
+        pcs=chunk.pcs,
+        data_addresses=chunk.data_addresses,
+        data_kinds=chunk.data_kinds,
+    )
+
+
+def load_trace_npz(path: str | Path) -> TraceChunk:
+    """Read a chunk written by :func:`save_trace_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    with np.load(path) as data:
+        try:
+            return TraceChunk(
+                data["pcs"], data["data_addresses"], data["data_kinds"]
+            )
+        except KeyError as exc:
+            raise TraceError(f"trace file {path} is missing column {exc}") from None
+
+
+def save_trace_text(path: str | Path, chunk: TraceChunk) -> None:
+    """Write the line format ``pc[,daddr,L|S]`` (one instruction per line)."""
+    with open(Path(path), "w", encoding="ascii") as handle:
+        for access in chunk:
+            if access.data_address is None:
+                handle.write(f"{access.pc}\n")
+            else:
+                kind = "S" if access.is_store else "L"
+                handle.write(f"{access.pc},{access.data_address},{kind}\n")
+
+
+def load_trace_text(path: str | Path) -> TraceChunk:
+    """Read the line format written by :func:`save_trace_text`."""
+    accesses: List[Access] = []
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            try:
+                if len(parts) == 1:
+                    accesses.append(Access(int(parts[0])))
+                elif len(parts) == 3:
+                    accesses.append(
+                        Access(int(parts[0]), int(parts[1]), parts[2].strip() == "S")
+                    )
+                else:
+                    raise ValueError("wrong field count")
+            except (ValueError, TraceError) as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: malformed trace line {line!r} ({exc})"
+                ) from None
+    return TraceChunk.from_accesses(accesses)

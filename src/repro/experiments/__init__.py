@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table/figure, plus ablations.
+
+See DESIGN.md §2 for the experiment-to-paper mapping.  Run everything
+from the command line with ``python -m repro all`` or individually, e.g.
+``python -m repro table1``.
+"""
+
+from .reporting import (
+    ExperimentResult,
+    Table,
+    fmt_pct,
+    fmt_ratio,
+    save_csv,
+    table_to_csv,
+)
+from .runner import experiment_names, run_all, run_experiment
+from .suite import BenchmarkRun, SuiteRunner
+
+__all__ = [
+    "BenchmarkRun",
+    "ExperimentResult",
+    "SuiteRunner",
+    "Table",
+    "experiment_names",
+    "fmt_pct",
+    "fmt_ratio",
+    "run_all",
+    "run_experiment",
+    "save_csv",
+    "table_to_csv",
+]

@@ -1,0 +1,31 @@
+"""Figure 1: ITRS projected leakage fraction of total power, 1999-2009."""
+
+from __future__ import annotations
+
+from ..power.itrs import ITRS_ANCHORS, projection_series
+from .reporting import ExperimentResult, Table, fmt_pct
+
+
+def run(start: int = 1999, end: int = 2009, step: int = 2) -> ExperimentResult:
+    """Regenerate the Figure 1 series from the logistic roadmap model."""
+    rows = []
+    for year, fraction in projection_series(start, end, step):
+        anchor = ITRS_ANCHORS.get(year)
+        rows.append(
+            [
+                str(year),
+                fmt_pct(fraction),
+                fmt_pct(anchor) if anchor is not None else "-",
+            ]
+        )
+    table = Table(
+        title="Figure 1 — leakage power / total power (%)",
+        headers=["year", "model", "roadmap anchor"],
+        rows=rows,
+    )
+    return ExperimentResult(
+        name="figure1",
+        description="ITRS leakage-power projection",
+        tables=[table],
+        notes=["logistic fit through the roadmap anchors; see repro.power.itrs"],
+    )

@@ -1,0 +1,81 @@
+"""The paper's published numbers, embedded for side-by-side comparison.
+
+Values are taken verbatim from the tables, or derived from the prose
+where the paper gives figure values in words (Figure 8's deltas, Figure
+9's totals).  Every experiment prints its measurement next to the
+corresponding entry here, and EXPERIMENTS.md records the pairing.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — inflection points in cycles per technology node.
+TABLE1_ACTIVE_DROWSY = {70: 6, 100: 6, 130: 6, 180: 6}
+TABLE1_DROWSY_SLEEP = {70: 1057, 100: 5088, 130: 10328, 180: 103084}
+
+#: Table 2 — optimal saving percentages (fractions) per node.
+TABLE2 = {
+    "icache": {
+        70: {"OPT-Drowsy": 0.664, "OPT-Sleep": 0.952, "OPT-Hybrid": 0.964},
+        100: {"OPT-Drowsy": 0.666, "OPT-Sleep": 0.850, "OPT-Hybrid": 0.937},
+        130: {"OPT-Drowsy": 0.666, "OPT-Sleep": 0.806, "OPT-Hybrid": 0.913},
+        180: {"OPT-Drowsy": 0.667, "OPT-Sleep": 0.615, "OPT-Hybrid": 0.671},
+    },
+    "dcache": {
+        70: {"OPT-Drowsy": 0.661, "OPT-Sleep": 0.984, "OPT-Hybrid": 0.991},
+        100: {"OPT-Drowsy": 0.666, "OPT-Sleep": 0.969, "OPT-Hybrid": 0.981},
+        130: {"OPT-Drowsy": 0.667, "OPT-Sleep": 0.953, "OPT-Hybrid": 0.973},
+        180: {"OPT-Drowsy": 0.667, "OPT-Sleep": 0.632, "OPT-Hybrid": 0.673},
+    },
+}
+
+#: Table 2 — supply / threshold voltages.
+TABLE2_VOLTAGES = {
+    70: (0.9, 0.1902),
+    100: (1.0, 0.2607),
+    130: (1.5, 0.3353),
+    180: (2.0, 0.3979),
+}
+
+#: Figure 8 — benchmark-average savings, as stated in or derived from
+#: §4.4's prose: OPT-Hybrid is 96.4% (I) / 99.1% (D); the other schemes
+#: are given as differences from it.
+FIGURE8_AVERAGES = {
+    "icache": {
+        "OPT-Drowsy": 0.964 - 0.30,
+        "Sleep(10K)": 0.964 - 0.26,
+        "OPT-Sleep(10K)": 0.964 - 0.16,
+        "OPT-Hybrid": 0.964,
+    },
+    "dcache": {
+        "OPT-Drowsy": 0.991 - 0.33,
+        "Sleep(10K)": 0.991 - 0.15,
+        "OPT-Sleep(10K)": 0.991 - 0.12,
+        "OPT-Hybrid": 0.991,
+    },
+}
+
+#: §5.2 — Prefetch-B lands within these distances of OPT-Hybrid.
+FIGURE8_PREFETCH_B_GAP = {"icache": 0.053, "dcache": 0.067}
+
+#: §5.2 — Prefetch-A beats Sleep(10K) by ~10% on the instruction cache;
+#: Prefetch-B beats Sleep(10K) by ~21% (I) and ~7% (D).
+FIGURE8_PREFETCH_DELTAS = {
+    ("icache", "Prefetch-A"): 0.10,
+    ("icache", "Prefetch-B"): 0.21,
+    ("dcache", "Prefetch-B"): 0.07,
+}
+
+#: Figure 9 — prefetchability of intervals (fractions of interval count).
+FIGURE9 = {
+    "icache": {"nextline": 0.230, "stride": 0.0, "total": 0.230},
+    "dcache": {"nextline": 0.163, "stride": 0.051, "total": 0.214},
+}
+
+#: Abstract / §6 — headline limits: remaining leakage fractions.
+HEADLINE_REMAINING = {"icache": 0.036, "dcache": 0.009}
+
+#: §4.1 benchmark suite.
+BENCHMARKS = ["ammp", "applu", "gcc", "gzip", "mesa", "vortex"]
+
+#: §4.2 transition durations in cycles.
+DURATIONS = {"s1": 30, "s3": 3, "s4": 4, "d1": 3, "d3": 3}

@@ -1,0 +1,82 @@
+"""Table 2: optimal leakage savings as technology scales (70-180 nm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.energy import ModeEnergyModel
+from ..core.policy import OptDrowsy, OptHybrid, OptSleep
+from ..core.savings import evaluate_policy
+from ..power.technology import paper_nodes
+from . import paper_values
+from .reporting import ExperimentResult, Table, fmt_pct
+from .suite import SuiteRunner
+
+#: Table 2 scheme order.
+SCHEMES = ["OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"]
+
+
+def _policies(model: ModeEnergyModel):
+    return {
+        "OPT-Drowsy": OptDrowsy(model, name="OPT-Drowsy"),
+        "OPT-Sleep": OptSleep(model, name="OPT-Sleep"),
+        "OPT-Hybrid": OptHybrid(model),
+    }
+
+
+def compute(suite: SuiteRunner) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Benchmark-average savings per cache, node and scheme."""
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    nodes = paper_nodes()
+    for cache in ("icache", "dcache"):
+        populations = suite.intervals_by_benchmark(cache)
+        results[cache] = {}
+        for feature_nm, node in sorted(nodes.items()):
+            model = ModeEnergyModel(node)
+            per_scheme: Dict[str, List[float]] = {name: [] for name in SCHEMES}
+            for annotated in populations.values():
+                for name, policy in _policies(model).items():
+                    report = evaluate_policy(policy, annotated.intervals)
+                    per_scheme[name].append(report.saving_fraction)
+            results[cache][feature_nm] = {
+                name: float(np.mean(vals)) for name, vals in per_scheme.items()
+            }
+    return results
+
+
+def run(suite: SuiteRunner | None = None) -> ExperimentResult:
+    """Regenerate Table 2 and print it against the paper's values."""
+    suite = suite if suite is not None else SuiteRunner()
+    measured = compute(suite)
+    tables = []
+    for cache in ("icache", "dcache"):
+        rows = []
+        for scheme in SCHEMES:
+            for source, data in (
+                ("measured", measured[cache]),
+                ("paper", paper_values.TABLE2[cache]),
+            ):
+                rows.append(
+                    [f"{scheme} ({source})"]
+                    + [fmt_pct(data[nm][scheme]) for nm in (70, 100, 130, 180)]
+                )
+        tables.append(
+            Table(
+                title=f"Table 2 — {cache} optimal savings (%) by technology",
+                headers=["scheme", "70nm", "100nm", "130nm", "180nm"],
+                rows=rows,
+            )
+        )
+    notes = [
+        "savings increase as technology scales down (smaller drowsy-sleep point)",
+        "sleep's ~30-point lead over drowsy at 70nm collapses at 180nm "
+        "(flipping outright on the I-cache) — the paper's dominance shift",
+    ]
+    return ExperimentResult(
+        name="table2",
+        description="Optimal leakage savings with technology scaling",
+        tables=tables,
+        notes=notes,
+    )

@@ -1,0 +1,40 @@
+"""Power models: technology nodes, leakage, dynamic energy, calibration.
+
+This subpackage is the reproduction's substitute for the HotLeakage [18]
+and CACTI 3.0 [15] tools the paper drew its circuit numbers from, plus the
+ITRS projection behind Figure 1.  See DESIGN.md §3.2 for the substitution
+rationale.
+"""
+
+from .calibration import calibrate_drowsy_dibl, calibrate_refetch_energy
+from .dynamic import CacheOrganization, DynamicEnergyModel
+from .itrs import ITRS_ANCHORS, leakage_fraction, projection_series
+from .leakage import LeakageModel, SramGeometry
+from .technology import (
+    DEFAULT_DROWSY_RATIO,
+    DEFAULT_SLEEP_RATIO,
+    PAPER_INFLECTION_POINTS,
+    PAPER_VOLTAGES,
+    TechnologyNode,
+    make_paper_node,
+    paper_nodes,
+)
+
+__all__ = [
+    "CacheOrganization",
+    "DynamicEnergyModel",
+    "ITRS_ANCHORS",
+    "LeakageModel",
+    "SramGeometry",
+    "TechnologyNode",
+    "DEFAULT_DROWSY_RATIO",
+    "DEFAULT_SLEEP_RATIO",
+    "PAPER_INFLECTION_POINTS",
+    "PAPER_VOLTAGES",
+    "calibrate_drowsy_dibl",
+    "calibrate_refetch_energy",
+    "leakage_fraction",
+    "make_paper_node",
+    "paper_nodes",
+    "projection_series",
+]

@@ -1,0 +1,98 @@
+"""Calibration of technology nodes against the paper's published numbers.
+
+The physical models in :mod:`repro.power.leakage` and
+:mod:`repro.power.dynamic` give the right *structure* — leakage per line
+grows steeply as Vth drops, dynamic re-fetch energy shrinks with feature
+size and Vdd — but the paper's exact operating points came from specific
+HotLeakage and CACTI 3.0 runs we cannot re-execute.  Rather than guess,
+this module pins the single derived quantity the paper publishes per node:
+the sleep-drowsy inflection point of Table 1.
+
+Because the per-mode interval energies are affine in the interval length,
+the inflection point is monotone in the re-fetch energy, and the exact
+re-fetch energy that produces a target inflection point has a closed form
+(invert Equation 3 for ``E_refetch``)::
+
+    E_refetch = (p_drowsy - p_sleep) * b + drowsy_constant
+                - sleep_constant_without_refetch
+
+Calibrating the drowsy leakage ratio works the same way from the observed
+OPT-Drowsy saturation (the paper's Table 2 shows 66.7% savings in the
+long-interval limit, identifying the drowsy residual as one third of
+active leakage).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PowerModelError
+from ..units import thermal_voltage
+from .technology import TechnologyNode
+
+
+def calibrate_refetch_energy(
+    node: TechnologyNode,
+    target_inflection: float,
+    durations=None,
+) -> float:
+    """Return the re-fetch energy (in leakage-cycles) that places the
+    sleep-drowsy inflection point exactly at ``target_inflection``.
+
+    Raises :class:`PowerModelError` if the target is infeasible — i.e. it
+    would require a negative re-fetch energy, which happens when the target
+    sits below the point where sleep's transition overheads alone already
+    cost more than drowsy mode.
+    """
+    from ..core.energy import ModeEnergyModel
+
+    zero_refetch = ModeEnergyModel(
+        node.with_refetch_energy(0.0), durations=durations
+    )
+    if target_inflection < zero_refetch.sleep_min_length:
+        raise PowerModelError(
+            f"target inflection {target_inflection!r} is below the sleep "
+            f"feasibility bound of {zero_refetch.sleep_min_length} cycles"
+        )
+    gap = zero_refetch.p_drowsy - zero_refetch.p_sleep
+    refetch = (
+        gap * target_inflection
+        + zero_refetch.drowsy_constant
+        - zero_refetch.sleep_constant
+    )
+    if refetch < 0:
+        raise PowerModelError(
+            f"target inflection {target_inflection!r} cycles is unreachable: "
+            "sleep already beats drowsy there with zero re-fetch energy"
+        )
+    return refetch
+
+
+def calibrate_drowsy_dibl(node: TechnologyNode, target_ratio: float) -> float:
+    """Return the DIBL coefficient (V/V) that yields ``target_ratio``.
+
+    The subthreshold drowsy/active leakage ratio under a retention voltage
+    ``Vl`` is ``(Vl/Vdd) * exp(eta * (Vl - Vdd) / (n * vT))`` (supply term
+    times the DIBL exponent); solving for ``eta`` gives the closed form
+    below.  Used by the physical leakage model to reproduce the calibrated
+    drowsy ratio from first principles.
+    """
+    if not 0 < target_ratio < 1:
+        raise PowerModelError(
+            f"drowsy ratio must be in (0, 1), got {target_ratio!r}"
+        )
+    supply_term = node.vdd_drowsy / node.vdd
+    n_vt = _subthreshold_slope_factor() * thermal_voltage(node.temperature_k)
+    delta_v = node.vdd_drowsy - node.vdd  # negative
+    exponent_needed = target_ratio / supply_term
+    if exponent_needed >= 1.0:
+        raise PowerModelError(
+            f"target drowsy ratio {target_ratio!r} exceeds the pure supply "
+            f"scaling {supply_term:.3f}; no positive DIBL coefficient exists"
+        )
+    return math.log(exponent_needed) * n_vt / delta_v
+
+
+def _subthreshold_slope_factor() -> float:
+    """Subthreshold slope ideality factor ``n`` (typical bulk CMOS)."""
+    return 1.3

@@ -1,0 +1,46 @@
+"""Prefetching: approximating the oracle's perfect future knowledge (§5).
+
+Next-line and per-static-load stride prefetchers, the interval
+prefetchability analysis behind Figure 9, and the Prefetch-A /
+Prefetch-B leakage schemes of Table 3.
+"""
+
+from .analysis import (
+    AnnotatedIntervals,
+    AnnotatedSimulationResult,
+    AnnotatingSimulator,
+    annotate_workload_trace,
+)
+from .nextline import NextLinePrefetcher
+from .schemes import (
+    PrefetchGuidedPolicy,
+    PrefetchSchemeReport,
+    PrefetchTradeoff,
+    PrefetchabilityRow,
+    TradeoffPoint,
+    evaluate_prefetch_scheme,
+    prefetch_tradeoff_curve,
+    prefetchability_breakdown,
+    prefetchability_summary,
+)
+from .stride import CONFIRMATIONS_REQUIRED, StrideEntry, StridePredictor
+
+__all__ = [
+    "AnnotatedIntervals",
+    "AnnotatedSimulationResult",
+    "AnnotatingSimulator",
+    "CONFIRMATIONS_REQUIRED",
+    "NextLinePrefetcher",
+    "PrefetchGuidedPolicy",
+    "PrefetchSchemeReport",
+    "PrefetchTradeoff",
+    "PrefetchabilityRow",
+    "StrideEntry",
+    "StridePredictor",
+    "TradeoffPoint",
+    "annotate_workload_trace",
+    "evaluate_prefetch_scheme",
+    "prefetch_tradeoff_curve",
+    "prefetchability_breakdown",
+    "prefetchability_summary",
+]

@@ -1,0 +1,30 @@
+"""SimPoint substrate: BBV profiling, k-means, representative windows.
+
+The reproduction's stand-in for the SimPoint toolchain the paper uses to
+keep simulation time reasonable (§4.1); see DESIGN.md §3.6.
+"""
+
+from .bbv import BBVProfile, BBVProfiler, profile_trace
+from .kmeans import KMeansResult, bic_score, choose_k, kmeans
+from .simpoint import (
+    SimPointSelection,
+    estimate_weighted,
+    select_simpoints,
+    select_simpoints_for_trace,
+    window_slice,
+)
+
+__all__ = [
+    "BBVProfile",
+    "BBVProfiler",
+    "KMeansResult",
+    "SimPointSelection",
+    "bic_score",
+    "choose_k",
+    "estimate_weighted",
+    "kmeans",
+    "profile_trace",
+    "select_simpoints",
+    "select_simpoints_for_trace",
+    "window_slice",
+]

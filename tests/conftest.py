@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the tests without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import pytest
+
+from repro.core.energy import ModeEnergyModel, TransitionDurations
+from repro.power.technology import make_paper_node, paper_nodes
+
+
+@pytest.fixture(scope="session")
+def nodes():
+    """The four calibrated paper technology nodes."""
+    return paper_nodes()
+
+
+@pytest.fixture(scope="session")
+def node70(nodes):
+    """The 70 nm node the paper's main experiments use."""
+    return nodes[70]
+
+
+@pytest.fixture(scope="session")
+def model70(node70):
+    """Energy model at 70 nm with the paper's durations."""
+    return ModeEnergyModel(node70)
+
+
+@pytest.fixture()
+def durations():
+    """The paper's transition durations."""
+    return TransitionDurations()
+
+
+@pytest.fixture()
+def rng():
+    """Seeded RNG for deterministic randomized tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def uncalibrated_node70():
+    """A 70 nm node without a calibrated re-fetch energy."""
+    return make_paper_node(70)

@@ -1,0 +1,261 @@
+"""Tests for repro.cache — configs, replacement, the cache, generations."""
+
+import pytest
+
+from repro.cache.cache import INVALID, SetAssociativeCache
+from repro.cache.config import (
+    CacheConfig,
+    paper_l1d_config,
+    paper_l1i_config,
+    paper_l2_config,
+)
+from repro.cache.generations import GenerationTracker
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_replacement_policy,
+)
+from repro.core.intervals import IntervalKind
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestCacheConfig:
+    def test_paper_geometries(self):
+        l1i, l1d, l2 = paper_l1i_config(), paper_l1d_config(), paper_l2_config()
+        assert (l1i.n_lines, l1i.n_sets, l1i.hit_latency) == (1024, 512, 1)
+        assert (l1d.n_lines, l1d.n_sets, l1d.hit_latency) == (1024, 512, 3)
+        assert (l2.n_lines, l2.n_sets, l2.hit_latency) == (32768, 32768, 7)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 60_000, 64, 2, 1)
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 65_536, 60, 2, 1)
+
+    def test_line_larger_than_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("x", 64, 128, 1, 1)
+
+    def test_address_mapping(self):
+        config = paper_l1i_config()
+        assert config.block_of(0) == 0
+        assert config.block_of(63) == 0
+        assert config.block_of(64) == 1
+        assert config.set_of_block(512) == 0
+        assert config.set_of_block(513) == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_l1i_config().block_of(-1)
+
+    def test_describe(self):
+        assert paper_l1i_config().describe() == "64KB 2-way 64B-line (1-cycle)"
+        assert paper_l2_config().describe() == "2MB direct-mapped 64B-line (7-cycle)"
+
+
+class TestReplacement:
+    def test_lru_evicts_least_recent(self):
+        lru = LruPolicy(n_sets=1, associativity=2)
+        lru.on_access(0, 0, time=1)
+        lru.on_access(0, 1, time=2)
+        assert lru.victim_way(0) == 0
+        lru.on_access(0, 0, time=3)
+        assert lru.victim_way(0) == 1
+
+    def test_fifo_ignores_hits(self):
+        fifo = FifoPolicy(n_sets=1, associativity=2)
+        assert fifo.victim_way(0) == 0
+        fifo.on_access(0, 0, time=100)  # a hit must not change FIFO order
+        assert fifo.victim_way(0) == 1
+        assert fifo.victim_way(0) == 0
+
+    def test_random_is_seeded(self):
+        a = RandomPolicy(4, 4, seed=7)
+        b = RandomPolicy(4, 4, seed=7)
+        assert [a.victim_way(0) for _ in range(10)] == [
+            b.victim_way(0) for _ in range(10)
+        ]
+
+    def test_factory(self):
+        assert isinstance(make_replacement_policy("lru", 4, 2), LruPolicy)
+        with pytest.raises(ConfigurationError):
+            make_replacement_policy("plru", 4, 2)
+
+
+class TestSetAssociativeCache:
+    @pytest.fixture()
+    def tiny(self):
+        # 4 sets x 2 ways of 64B lines = 512B cache.
+        return SetAssociativeCache(CacheConfig("tiny", 512, 64, 2, 1))
+
+    def test_first_access_misses_then_hits(self, tiny):
+        assert tiny.access_block(0, 0) is False
+        assert tiny.access_block(0, 1) is True
+        assert tiny.stats.compulsory_misses == 1
+
+    def test_set_conflict_eviction(self, tiny):
+        # Blocks 0, 4, 8 all map to set 0 of a 4-set cache.
+        tiny.access_block(0, 0)
+        tiny.access_block(4, 1)
+        tiny.access_block(8, 2)  # evicts LRU block 0
+        assert tiny.stats.evictions == 1
+        assert tiny.access_block(0, 3) is False  # was evicted
+        assert tiny.access_block(8, 4) is True
+
+    def test_lru_preserves_recent_way(self, tiny):
+        tiny.access_block(0, 0)
+        tiny.access_block(4, 1)
+        tiny.access_block(0, 2)  # touch 0 again; 4 is now LRU
+        tiny.access_block(8, 3)  # evicts 4
+        assert tiny.access_block(0, 4) is True
+        assert tiny.access_block(4, 5) is False
+
+    def test_probe_does_not_touch(self, tiny):
+        tiny.access_block(0, 0)
+        before = tiny.stats.accesses
+        assert tiny.probe(0) is True
+        assert tiny.probe(4) is False
+        assert tiny.stats.accesses == before
+
+    def test_access_block_ex_returns_frame(self, tiny):
+        hit, frame = tiny.access_block_ex(5, 0)
+        assert hit is False
+        assert tiny.resident_block(frame) == 5
+
+    def test_occupancy(self, tiny):
+        assert tiny.occupancy() == 0.0
+        tiny.access_block(0, 0)
+        assert tiny.occupancy() == pytest.approx(1 / 8)
+
+    def test_flush_invalidates(self, tiny):
+        tiny.access_block(0, 0)
+        tiny.flush()
+        assert tiny.occupancy() == 0.0
+        assert tiny.access_block(0, 1) is False
+
+    def test_byte_address_access(self, tiny):
+        tiny.access(0x100, 0)
+        assert tiny.probe(0x100 >> 6)
+
+    def test_intervals_require_tracking(self):
+        cache = SetAssociativeCache(
+            CacheConfig("x", 512, 64, 2, 1), track_generations=False
+        )
+        with pytest.raises(SimulationError):
+            cache.intervals()
+
+    def test_resident_block_bounds(self, tiny):
+        with pytest.raises(SimulationError):
+            tiny.resident_block(99)
+
+
+class TestGenerationTracker:
+    def test_hits_produce_normal_intervals(self):
+        tracker = GenerationTracker(n_frames=1)
+        tracker.on_fill(0, 10)
+        tracker.on_hit(0, 15)
+        tracker.on_hit(0, 40)
+        tracker.finish(100)
+        ivs = tracker.intervals()
+        assert list(ivs.lengths) == [10, 5, 25, 60]
+        assert [IntervalKind(k) for k in ivs.kinds] == [
+            IntervalKind.COLD,
+            IntervalKind.NORMAL,
+            IntervalKind.NORMAL,
+            IntervalKind.DEAD,
+        ]
+
+    def test_refill_produces_dead_interval(self):
+        tracker = GenerationTracker(n_frames=1)
+        tracker.on_fill(0, 0)
+        tracker.on_hit(0, 5)
+        tracker.on_fill(0, 30)  # eviction + new generation
+        tracker.finish(40)
+        ivs = tracker.intervals()
+        assert list(ivs.lengths) == [5, 25, 10]
+        assert IntervalKind(ivs.kinds[1]) == IntervalKind.DEAD
+
+    def test_unused_frame_is_one_cold_interval(self):
+        tracker = GenerationTracker(n_frames=2)
+        tracker.on_fill(0, 10)
+        tracker.finish(50)
+        ivs = tracker.intervals()
+        cold = ivs.of_kind(IntervalKind.COLD)
+        assert sorted(cold.lengths) == [10, 50]
+
+    def test_total_cycles_is_frames_times_span(self):
+        tracker = GenerationTracker(n_frames=3)
+        tracker.on_fill(0, 5)
+        tracker.on_hit(0, 20)
+        tracker.on_fill(1, 7)
+        tracker.finish(100)
+        assert tracker.intervals().total_cycles == 3 * 100
+
+    def test_time_reversal_rejected(self):
+        tracker = GenerationTracker(n_frames=1)
+        tracker.on_fill(0, 10)
+        with pytest.raises(SimulationError):
+            tracker.on_hit(0, 5)
+
+    def test_finish_is_single_use(self):
+        tracker = GenerationTracker(n_frames=1)
+        tracker.finish(10)
+        with pytest.raises(SimulationError):
+            tracker.finish(20)
+
+    def test_intervals_require_finish(self):
+        tracker = GenerationTracker(n_frames=1)
+        with pytest.raises(SimulationError):
+            tracker.intervals()
+
+
+class TestHierarchy:
+    def test_paper_config(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.config.l1i.n_lines == 1024
+        assert hierarchy.config.memory_latency == 100
+
+    def test_latencies(self):
+        hierarchy = MemoryHierarchy()
+        # Cold fetch: L2 miss -> memory.
+        assert hierarchy.fetch_instruction(0x1000, 0) == 107
+        # Warm fetch: L1 hit.
+        assert hierarchy.fetch_instruction(0x1000, 1) == 1
+        # Data cold miss then hit.
+        assert hierarchy.access_data(0x2000, 2) == 107
+        assert hierarchy.access_data(0x2000, 3) == 3
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = MemoryHierarchy()
+        # Fill block, then evict it from L1 by filling its set, then
+        # re-access: should be an L2 hit (7 cycles).
+        hierarchy.access_data(0, 0)
+        hierarchy.access_data(64 * 512, 1)
+        hierarchy.access_data(64 * 1024, 2)  # evicts block 0 from L1 set 0
+        assert hierarchy.access_data(0, 3) == 7
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(
+                paper_l1i_config(),
+                paper_l1d_config(),
+                CacheConfig("L2", 2 * 1024 * 1024, 128, 1, 7),
+            )
+
+    def test_finish_collects_both_l1_interval_sets(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.fetch_instruction(0, 0)
+        hierarchy.access_data(0x4000, 0)
+        hierarchy.finish(10)
+        assert hierarchy.l1i.intervals().total_cycles == 1024 * 10
+        assert hierarchy.l1d.intervals().total_cycles == 1024 * 10
+
+    def test_stats_levels(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.fetch_instruction(0, 0)
+        stats = hierarchy.stats()
+        assert set(stats.levels) == {"L1I", "L1D", "L2"}
+        assert stats.level("L1I").accesses == 1
+        assert "L1I" in stats.describe()

@@ -1,0 +1,112 @@
+"""CLI tests and end-to-end integration checks against the paper."""
+
+import pytest
+
+from repro import quick_limits
+from repro.cli import build_parser, main
+from repro.core import (
+    ModeEnergyModel,
+    OptDrowsy,
+    OptHybrid,
+    OptSleep,
+    evaluate_policy,
+    inflection_points,
+)
+from repro.cpu import simulate_trace
+from repro.power import paper_nodes
+from repro.prefetch import annotate_workload_trace, evaluate_prefetch_scheme
+from repro.workloads import make_benchmark
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure8" in out
+
+    def test_static_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        assert "1057" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.txt"
+        assert main(["figure1", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert "Figure 1" in target.read_text()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == 1.0 and args.benchmarks is None
+
+
+class TestQuickstart:
+    def test_quick_limits_reports_both_caches(self):
+        text = quick_limits(scale=0.05)
+        assert "I-cache" in text and "D-cache" in text
+
+
+class TestEndToEnd:
+    """One benchmark, the full pipeline, checked against paper structure."""
+
+    @pytest.fixture(scope="class")
+    def gzip_run(self):
+        return simulate_trace(make_benchmark("gzip", scale=0.15).chunks())
+
+    def test_hybrid_beats_parts_on_real_intervals(self, gzip_run, model70):
+        for intervals in (gzip_run.l1i_intervals, gzip_run.l1d_intervals):
+            intervals = intervals.as_normal()
+            hybrid = evaluate_policy(OptHybrid(model70), intervals).saving_fraction
+            drowsy = evaluate_policy(OptDrowsy(model70), intervals).saving_fraction
+            sleep = evaluate_policy(OptSleep(model70), intervals).saving_fraction
+            assert hybrid >= max(drowsy, sleep) - 1e-9
+            assert hybrid > 0.9
+
+    def test_savings_in_paper_neighborhood(self, gzip_run, model70):
+        # Even one benchmark at reduced scale should land within ~8 points
+        # of the paper's headline 96.4% / 99.1% hybrid limits.
+        for intervals, target in (
+            (gzip_run.l1i_intervals, 0.964),
+            (gzip_run.l1d_intervals, 0.991),
+        ):
+            saving = evaluate_policy(
+                OptHybrid(model70), intervals.as_normal()
+            ).saving_fraction
+            assert abs(saving - target) < 0.08
+
+    def test_prefetch_b_between_decay_and_hybrid(self, model70):
+        annotated = annotate_workload_trace(make_benchmark("gzip", scale=0.15).chunks())
+        from repro.core import DecaySleep
+
+        for view in (annotated.l1i, annotated.l1d):
+            view = view.as_normal()
+            decay = evaluate_policy(
+                DecaySleep(model70, 10_000), view.intervals
+            ).saving_fraction
+            hybrid = evaluate_policy(OptHybrid(model70), view.intervals).saving_fraction
+            b = evaluate_prefetch_scheme(view, model70, power_first=True)
+            assert decay - 0.02 <= b.savings.saving_fraction <= hybrid + 1e-9
+
+    def test_technology_scaling_direction(self, gzip_run):
+        nodes = paper_nodes()
+        savings = []
+        for nm in (70, 100, 130, 180):
+            model = ModeEnergyModel(nodes[nm])
+            savings.append(
+                evaluate_policy(
+                    OptHybrid(model), gzip_run.l1i_intervals.as_normal()
+                ).saving_fraction
+            )
+        assert savings == sorted(savings, reverse=True)
+
+    def test_inflection_points_drive_the_policy(self, gzip_run, model70):
+        points = inflection_points(model70)
+        policy = OptHybrid(model70)
+        lengths = gzip_run.l1i_intervals.lengths[:1000]
+        codes = policy.modes(lengths)
+        for length, code in zip(lengths, codes):
+            expected = points.classify(float(length))
+            assert code == {"active": 0, "drowsy": 1, "sleep": 2}[expected.value]

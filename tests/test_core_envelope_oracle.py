@@ -1,0 +1,121 @@
+"""Tests for repro.core.envelope and repro.core.oracle — Theorem 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import ModeEnergyModel
+from repro.core.envelope import (
+    envelope_array,
+    envelope_energy,
+    envelope_mode,
+    envelope_series,
+    feasible_modes,
+    region_slopes,
+    verify_envelope_matches_policy,
+    verify_lemma1,
+)
+from repro.core.modes import Mode
+from repro.core.oracle import (
+    assignment_energy,
+    is_optimal_assignment,
+    oracle_energy,
+    oracle_modes,
+)
+from repro.core.policy import OptHybrid
+from repro.errors import PolicyError
+
+
+class TestEnvelope:
+    def test_feasible_modes_grow_with_length(self, model70):
+        assert feasible_modes(model70, 3) == [Mode.ACTIVE]
+        assert feasible_modes(model70, 20) == [Mode.ACTIVE, Mode.DROWSY]
+        assert Mode.SLEEP in feasible_modes(model70, 37)
+        assert Mode.SLEEP in feasible_modes(model70, 100_000)
+
+    def test_envelope_below_active_beyond_a(self, model70):
+        for length in (7, 100, 1057, 100_000):
+            assert envelope_energy(model70, length) < model70.active_energy(length)
+
+    def test_envelope_mode_regions(self, model70):
+        assert envelope_mode(model70, 3) is Mode.ACTIVE
+        assert envelope_mode(model70, 100) is Mode.DROWSY
+        assert envelope_mode(model70, 5000) is Mode.SLEEP
+
+    def test_vectorized_matches_scalar(self, model70, rng):
+        lengths = rng.integers(1, 10**6, size=500)
+        vector = envelope_array(model70, lengths)
+        scalar = [envelope_energy(model70, int(v)) for v in lengths]
+        np.testing.assert_allclose(vector, scalar)
+
+    def test_envelope_monotone_within_regions(self, model70):
+        # Figure 10: piecewise-linear, increasing within each region.
+        for lo, hi in ((7, 1057), (1100, 10**6)):
+            grid = np.linspace(lo, hi, 50)
+            values = envelope_array(model70, grid)
+            assert np.all(np.diff(values) > 0)
+
+    def test_region_slopes_descend(self, model70):
+        p1, p2, p3 = region_slopes(model70)
+        assert p1 > p2 > p3 > 0
+
+    def test_series_marks_infeasible_as_nan(self, model70):
+        series = envelope_series(model70, max_length=100, n_points=20)
+        first_length, _, drowsy, sleep = series[0]
+        assert first_length == 1.0
+        assert np.isnan(drowsy) and np.isnan(sleep)
+
+    def test_lemma1(self, model70):
+        assert verify_lemma1(model70)
+
+    def test_policy_attains_envelope(self, model70, rng):
+        lengths = rng.integers(7, 10**6, size=500)
+        assert verify_envelope_matches_policy(model70, lengths)
+
+
+class TestOracle:
+    def test_oracle_matches_hybrid_policy(self, model70, rng):
+        # Theorem 1: the inflection-point region policy IS the per-interval
+        # argmin (boundary points excluded: ties break consistently).
+        lengths = rng.integers(1, 10**6, size=5000)
+        lengths = lengths[(lengths != 6) & (lengths != 1057)]
+        assert np.array_equal(
+            oracle_modes(model70, lengths), OptHybrid(model70).modes(lengths)
+        )
+
+    def test_oracle_energy_is_minimal_over_random_assignments(self, model70, rng):
+        lengths = rng.integers(1, 10**6, size=300)
+        best = oracle_energy(model70, lengths)
+        optimal_codes = oracle_modes(model70, lengths)
+        for trial in range(20):
+            codes = optimal_codes.copy()
+            # Perturb a random subset to any feasible alternative.
+            idx = rng.integers(0, len(lengths), size=30)
+            for i in idx:
+                feasible = [0]
+                if lengths[i] >= model70.drowsy_min_length:
+                    feasible.append(1)
+                if lengths[i] >= model70.sleep_min_length:
+                    feasible.append(2)
+                codes[i] = rng.choice(feasible)
+            assert assignment_energy(model70, lengths, codes) >= best - 1e-9
+
+    def test_is_optimal_assignment(self, model70, rng):
+        lengths = rng.integers(1, 10**6, size=200)
+        codes = oracle_modes(model70, lengths)
+        assert is_optimal_assignment(model70, lengths, codes)
+        # Forcing a long interval active is suboptimal.
+        worst = codes.copy()
+        long_idx = int(np.argmax(lengths))
+        worst[long_idx] = 0
+        assert not is_optimal_assignment(model70, lengths, worst)
+
+    def test_infeasible_assignment_rejected(self, model70):
+        lengths = np.array([5])
+        with pytest.raises(PolicyError):
+            assignment_energy(model70, lengths, np.array([2], dtype=np.uint8))
+
+    def test_shape_mismatch_rejected(self, model70):
+        with pytest.raises(PolicyError):
+            assignment_energy(
+                model70, np.array([10, 20]), np.array([0], dtype=np.uint8)
+            )

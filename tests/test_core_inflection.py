@@ -1,0 +1,98 @@
+"""Tests for repro.core.inflection — Equation 3 and Table 1."""
+
+import pytest
+
+from repro.core.energy import ModeEnergyModel, TransitionDurations
+from repro.core.inflection import (
+    InflectionPoints,
+    breakeven_table,
+    inflection_points,
+    inflection_points_for_node,
+    sanity_check_lemma1,
+    solve_sleep_drowsy_point,
+    solve_sleep_drowsy_point_bisect,
+)
+from repro.core.modes import Mode
+from repro.errors import PowerModelError
+from repro.power.technology import PAPER_INFLECTION_POINTS, paper_nodes
+
+
+class TestTable1:
+    """The headline Table 1 reproduction: must be exact."""
+
+    @pytest.mark.parametrize("feature_nm,expected", sorted(PAPER_INFLECTION_POINTS.items()))
+    def test_drowsy_sleep_points_match_paper(self, nodes, feature_nm, expected):
+        points = inflection_points_for_node(nodes[feature_nm])
+        assert points.drowsy_sleep_cycles == expected
+
+    @pytest.mark.parametrize("feature_nm", sorted(PAPER_INFLECTION_POINTS))
+    def test_active_drowsy_is_six_cycles_everywhere(self, nodes, feature_nm):
+        points = inflection_points_for_node(nodes[feature_nm])
+        assert points.active_drowsy == 6
+
+    def test_points_decrease_with_technology_scaling(self, nodes):
+        table = breakeven_table(nodes)
+        values = [table[nm].drowsy_sleep for nm in (70, 100, 130, 180)]
+        assert values == sorted(values)
+
+
+class TestSolver:
+    def test_closed_form_agrees_with_bisection(self, model70):
+        analytic = solve_sleep_drowsy_point(model70)
+        numeric = solve_sleep_drowsy_point_bisect(model70)
+        assert analytic == pytest.approx(numeric, abs=1e-4)
+
+    def test_energies_equal_at_the_point(self, model70):
+        b = solve_sleep_drowsy_point(model70)
+        assert model70.sleep_energy(b) == pytest.approx(model70.drowsy_energy(b))
+
+    def test_sleep_wins_above_drowsy_wins_below(self, model70):
+        b = solve_sleep_drowsy_point(model70)
+        assert model70.sleep_energy(b + 10) < model70.drowsy_energy(b + 10)
+        assert model70.sleep_energy(b - 10) > model70.drowsy_energy(b - 10)
+
+    def test_no_crossing_without_leakage_gap(self, node70):
+        degenerate = node70.with_ratios(
+            drowsy_ratio=0.01, sleep_ratio=0.009
+        ).with_refetch_energy(1e9)
+        model = ModeEnergyModel(degenerate)
+        with pytest.raises(PowerModelError):
+            solve_sleep_drowsy_point_bisect(model, hi=1e6)
+
+    def test_point_grows_with_refetch_energy(self, node70):
+        lo = ModeEnergyModel(node70.with_refetch_energy(100.0))
+        hi = ModeEnergyModel(node70.with_refetch_energy(1000.0))
+        assert solve_sleep_drowsy_point(hi) > solve_sleep_drowsy_point(lo)
+
+
+class TestClassification:
+    def test_classify_regions(self, model70):
+        points = inflection_points(model70)
+        assert points.classify(1) is Mode.ACTIVE
+        assert points.classify(6) is Mode.ACTIVE
+        assert points.classify(7) is Mode.DROWSY
+        assert points.classify(1057) is Mode.DROWSY
+        assert points.classify(1058) is Mode.SLEEP
+        assert points.classify(10**7) is Mode.SLEEP
+
+    def test_lemma1_sanity(self, model70):
+        assert sanity_check_lemma1(inflection_points(model70))
+
+    def test_rounding_to_cycles(self):
+        points = InflectionPoints(active_drowsy=6, drowsy_sleep=1056.7)
+        assert points.drowsy_sleep_cycles == 1057
+
+
+class TestCustomDurations:
+    def test_longer_sleep_exit_raises_the_point(self, node70):
+        base = inflection_points(ModeEnergyModel(node70))
+        slow = inflection_points(
+            ModeEnergyModel(node70, durations=TransitionDurations(s1=60))
+        )
+        assert slow.drowsy_sleep > base.drowsy_sleep
+
+    def test_longer_drowsy_ramps_move_active_point(self, node70):
+        points = inflection_points(
+            ModeEnergyModel(node70, durations=TransitionDurations(d1=5, d3=5))
+        )
+        assert points.active_drowsy == 10

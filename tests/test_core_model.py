@@ -1,0 +1,121 @@
+"""Tests for repro.core.model — the Figure 6 state-machine model."""
+
+import pytest
+
+from repro.core.energy import ModeEnergyModel
+from repro.core.intervals import IntervalSet
+from repro.core.model import StateMachineModel, Transition, technology_sweep
+from repro.core.modes import Mode
+from repro.errors import ConfigurationError, PolicyError
+from repro.power.technology import paper_nodes
+
+
+@pytest.fixture()
+def machine(model70):
+    return StateMachineModel.from_energy_model(model70)
+
+
+class TestConstruction:
+    def test_state_powers_match_energy_model(self, machine, model70):
+        assert machine.state_power[Mode.ACTIVE] == pytest.approx(model70.p_active)
+        assert machine.state_power[Mode.DROWSY] == pytest.approx(model70.p_drowsy)
+        assert machine.state_power[Mode.SLEEP] == pytest.approx(model70.p_sleep)
+
+    def test_four_edges(self, machine):
+        assert len(machine.transitions) == 4
+
+    def test_edge_durations_from_paper(self, machine):
+        assert machine.transition(Mode.ACTIVE, Mode.SLEEP).duration == 30
+        assert machine.transition(Mode.SLEEP, Mode.ACTIVE).duration == 3
+        assert machine.transition(Mode.ACTIVE, Mode.DROWSY).duration == 3
+        assert machine.transition(Mode.DROWSY, Mode.ACTIVE).duration == 3
+        assert machine.ready_cycles == 4
+
+    def test_missing_state_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateMachineModel(
+                state_power={Mode.ACTIVE: 1.0},
+                transitions={},
+                refetch_energy=0.0,
+            )
+
+    def test_negative_transition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transition(Mode.ACTIVE, Mode.SLEEP, duration=-1, energy=0.0)
+
+    def test_unknown_edge_raises(self, machine):
+        with pytest.raises(PolicyError):
+            machine.transition(Mode.DROWSY, Mode.SLEEP)
+
+
+class TestEquationAgreement:
+    """The state machine must reproduce Equations 1 and 2 exactly."""
+
+    @pytest.mark.parametrize("length", [50, 1057, 5000, 123_456])
+    def test_drowsy_interval(self, machine, model70, length):
+        assert machine.interval_energy(Mode.DROWSY, length) == pytest.approx(
+            model70.drowsy_energy(length)
+        )
+
+    @pytest.mark.parametrize("length", [40, 1057, 5000, 123_456])
+    def test_sleep_interval(self, machine, model70, length):
+        assert machine.interval_energy(Mode.SLEEP, length) == pytest.approx(
+            model70.sleep_energy(length)
+        )
+
+    def test_active_interval(self, machine, model70):
+        assert machine.interval_energy(Mode.ACTIVE, 777) == pytest.approx(
+            model70.active_energy(777)
+        )
+
+    def test_too_short_interval_rejected(self, machine):
+        with pytest.raises(PolicyError):
+            machine.interval_energy(Mode.SLEEP, 36)
+        with pytest.raises(PolicyError):
+            machine.interval_energy(Mode.DROWSY, 5)
+        with pytest.raises(PolicyError):
+            machine.interval_energy(Mode.ACTIVE, 0)
+
+
+class TestDiscreteSimulation:
+    """Cycle-by-cycle integration must agree with the closed forms."""
+
+    @pytest.mark.parametrize("mode", [Mode.ACTIVE, Mode.DROWSY, Mode.SLEEP])
+    @pytest.mark.parametrize("length", [100, 2000, 50_000])
+    def test_simulated_interval_matches_closed_form(self, machine, mode, length):
+        assert machine.simulate_interval(mode, length) == pytest.approx(
+            machine.interval_energy(mode, length), rel=1e-12
+        )
+
+    def test_schedule_is_sum_of_intervals(self, machine):
+        schedule = [(Mode.ACTIVE, 10), (Mode.DROWSY, 100), (Mode.SLEEP, 5000)]
+        assert machine.simulate_schedule(schedule) == pytest.approx(
+            sum(machine.interval_energy(m, c) for m, c in schedule)
+        )
+
+
+class TestTechnologySweep:
+    def test_sweep_produces_table2_structure(self):
+        intervals = IntervalSet([5, 500, 5_000, 500_000] * 10)
+        rows = technology_sweep(
+            [paper_nodes()[nm] for nm in (70, 180)], intervals
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row["savings"]) == {"OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"}
+            assert row["savings"]["OPT-Hybrid"] >= row["savings"]["OPT-Drowsy"] - 1e-9
+            assert row["savings"]["OPT-Hybrid"] >= row["savings"]["OPT-Sleep"] - 1e-9
+
+    def test_drowsy_beats_sleep_at_180nm(self):
+        # The paper's Table 2 finding: at 180nm the inflection point is so
+        # high that drowsy mode leads.
+        intervals = IntervalSet([500, 5_000, 50_000] * 20)
+        rows = technology_sweep([paper_nodes()[180]], intervals)
+        savings = rows[0]["savings"]
+        assert savings["OPT-Drowsy"] > savings["OPT-Sleep"]
+
+    def test_sleep_beats_drowsy_at_70nm(self):
+        intervals = IntervalSet([500, 5_000, 50_000] * 20)
+        rows = technology_sweep([paper_nodes()[70]], intervals)
+        savings = rows[0]["savings"]
+        assert savings["OPT-Sleep"] > savings["OPT-Drowsy"]

@@ -1,0 +1,107 @@
+"""Remaining-surface tests: stats merging, trace edges, describe paths."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import CacheStats, HierarchyStats
+from repro.core.intervals import IntervalSet
+from repro.cpu.trace import TraceChunk
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    Phase,
+    Visit,
+    Workload,
+    make_benchmark,
+    round_robin_schedule,
+    super_schedule,
+)
+
+
+class TestCacheStats:
+    def test_merge_adds_counters(self):
+        a = CacheStats(name="L1", accesses=10, hits=7, misses=3, evictions=1)
+        b = CacheStats(accesses=5, hits=5, misses=0)
+        merged = a.merge(b)
+        assert merged.name == "L1"
+        assert merged.accesses == 15
+        assert merged.hits == 12
+        assert merged.evictions == 1
+
+    def test_rates_with_zero_accesses(self):
+        empty = CacheStats()
+        assert empty.miss_rate == 0.0
+        assert empty.hit_rate == 0.0
+
+    def test_as_dict_keys(self):
+        stats = CacheStats(name="x", accesses=4, hits=3, misses=1)
+        data = stats.as_dict()
+        assert data["miss_rate"] == pytest.approx(0.25)
+        assert {"accesses", "hits", "misses", "evictions"} <= set(data)
+
+    def test_hierarchy_stats_creates_levels_on_demand(self):
+        stats = HierarchyStats()
+        stats.level("L1I").accesses += 1
+        assert stats.level("L1I").accesses == 1
+        assert "L1I" in stats.describe()
+
+
+class TestTraceEdges:
+    def test_empty_chunk(self):
+        chunk = TraceChunk(np.empty(0, dtype=np.int64))
+        assert len(chunk) == 0
+        assert list(chunk) == []
+
+    def test_slice_out_of_range_is_empty(self):
+        chunk = TraceChunk([0, 4])
+        assert len(chunk.slice(5, 9)) == 0
+
+
+class TestScheduleHelpers:
+    def test_round_robin_schedule(self):
+        schedule = round_robin_schedule([(0, 10), (1, 20)])
+        assert schedule == [Visit(0, 10), Visit(1, 20)]
+
+    def test_super_schedule_repeats_groups(self):
+        a, b = Visit(0, 10), Visit(1, 20)
+        schedule = super_schedule([[a], [b]], inner_rounds=3)
+        assert schedule == [a, a, a, b, b, b]
+
+    def test_super_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            super_schedule([], inner_rounds=2)
+        with pytest.raises(ConfigurationError):
+            super_schedule([[Visit(0, 1)]], inner_rounds=0)
+        with pytest.raises(ConfigurationError):
+            super_schedule([[Visit(0, 1)], []])
+
+    def test_super_schedule_builds_working_workload(self):
+        phases = [Phase("a", 0, 32, block_instructions=0),
+                  Phase("b", 0x1000, 32, block_instructions=0)]
+        schedule = super_schedule([[Visit(0, 64)], [Visit(1, 64)]], inner_rounds=2)
+        workload = Workload("w", phases, schedule, rounds=2)
+        assert workload.total_instructions == 2 * 4 * 64
+
+
+class TestBenchmarkDescriptions:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_describe_runs_for_every_benchmark(self, name):
+        text = make_benchmark(name, scale=0.05).describe()
+        assert f"workload {name}" in text
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_has_a_small_body_region(self, name):
+        # The (6, 1057] drowsy band needs at least one small-body region.
+        workload = make_benchmark(name, scale=0.05)
+        assert any(p.body_instructions <= 1280 for p in workload.phases)
+
+
+class TestIntervalSetExtra:
+    def test_repr_mentions_counts(self):
+        ivs = IntervalSet([5, 10], kinds=[0, 1])
+        assert "n=2" in repr(ivs)
+
+    def test_iteration_matches_indexing(self):
+        ivs = IntervalSet([5, 10, 15])
+        assert [iv.length for iv in ivs] == [5, 10, 15]
+        assert ivs[2].length == 15

@@ -1,0 +1,145 @@
+"""Tests for repro.simpoint — BBV profiling, k-means, selection."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import TraceChunk
+from repro.errors import ConfigurationError
+from repro.simpoint.bbv import BBVProfiler, profile_trace
+from repro.simpoint.kmeans import bic_score, choose_k, kmeans
+from repro.simpoint.simpoint import (
+    estimate_weighted,
+    select_simpoints,
+    select_simpoints_for_trace,
+    window_slice,
+)
+
+
+def phase_trace(phase_pcs, window=100, windows_per_phase=4, repeats=2):
+    """A trace alternating between code regions, one chunk per window."""
+    chunks = []
+    for _ in range(repeats):
+        for base in phase_pcs:
+            for _ in range(windows_per_phase):
+                pcs = base + 4 * (np.arange(window, dtype=np.int64) % 32)
+                chunks.append(TraceChunk(pcs))
+    return chunks
+
+
+class TestBBV:
+    def test_windows_and_normalization(self):
+        chunks = phase_trace([0x0, 0x10000])
+        profile = profile_trace(chunks, window_instructions=100)
+        assert profile.n_windows == 16
+        np.testing.assert_allclose(profile.vectors.sum(axis=1), 1.0)
+
+    def test_distinct_phases_have_distant_vectors(self):
+        chunks = phase_trace([0x0, 0x10000])
+        profile = profile_trace(chunks, window_instructions=100)
+        assert profile.distance(0, 4) > 1.0  # different phases
+        assert profile.distance(0, 1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_partial_window_dropped_by_default(self):
+        profiler = BBVProfiler(window_instructions=100)
+        profiler.observe(TraceChunk(np.zeros(150, dtype=np.int64)))
+        assert profiler.profile().n_windows == 1
+
+    def test_partial_window_kept_on_request(self):
+        profiler = BBVProfiler(window_instructions=100)
+        profiler.observe(TraceChunk(np.zeros(150, dtype=np.int64)))
+        assert profiler.profile(drop_partial=False).n_windows == 2
+
+    def test_no_complete_window_rejected(self):
+        profiler = BBVProfiler(window_instructions=1000)
+        profiler.observe(TraceChunk(np.zeros(10, dtype=np.int64)))
+        with pytest.raises(ConfigurationError):
+            profiler.profile()
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BBVProfiler(window_instructions=0)
+        with pytest.raises(ConfigurationError):
+            BBVProfiler(block_bytes=48)
+
+
+class TestKMeans:
+    def test_separable_clusters_found(self, rng):
+        a = rng.normal(0.0, 0.05, size=(30, 3))
+        b = rng.normal(5.0, 0.05, size=(30, 3))
+        points = np.vstack([a, b])
+        result = kmeans(points, k=2, seed=1)
+        labels_a = set(result.labels[:30])
+        labels_b = set(result.labels[30:])
+        assert len(labels_a) == 1 and len(labels_b) == 1 and labels_a != labels_b
+
+    def test_inertia_decreases_with_k(self, rng):
+        points = rng.normal(size=(50, 4))
+        inertias = [kmeans(points, k, seed=0).inertia for k in (1, 2, 5, 10)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_cluster_sizes_partition(self, rng):
+        points = rng.normal(size=(40, 2))
+        result = kmeans(points, 4, seed=0)
+        assert result.cluster_sizes().sum() == 40
+
+    def test_choose_k_prefers_true_structure(self, rng):
+        a = rng.normal(0.0, 0.02, size=(25, 2))
+        b = rng.normal(3.0, 0.02, size=(25, 2))
+        c = rng.normal(-3.0, 0.02, size=(25, 2))
+        result = choose_k(np.vstack([a, b, c]), max_k=6, seed=0)
+        assert result.k == 3
+
+    def test_bic_finite(self, rng):
+        points = rng.normal(size=(30, 2))
+        result = kmeans(points, 3, seed=0)
+        assert np.isfinite(bic_score(points, result))
+
+    def test_invalid_k_rejected(self, rng):
+        points = rng.normal(size=(5, 2))
+        with pytest.raises(ConfigurationError):
+            kmeans(points, 0)
+        with pytest.raises(ConfigurationError):
+            kmeans(points, 6)
+
+
+class TestSimPoint:
+    def test_selection_covers_phases(self):
+        chunks = phase_trace([0x0, 0x10000], windows_per_phase=5, repeats=2)
+        selection = select_simpoints_for_trace(chunks, window_instructions=100)
+        assert selection.k == 2
+        assert selection.weights.sum() == pytest.approx(1.0)
+
+    def test_weights_reflect_population(self):
+        # Phase A runs 3x as many windows as phase B.
+        chunks = phase_trace([0x0], windows_per_phase=9, repeats=1)
+        chunks += phase_trace([0x10000], windows_per_phase=3, repeats=1)
+        selection = select_simpoints_for_trace(chunks, window_instructions=100)
+        assert selection.k == 2
+        assert max(selection.weights) == pytest.approx(0.75)
+
+    def test_fixed_k(self):
+        chunks = phase_trace([0x0, 0x10000, 0x20000])
+        profile = profile_trace(chunks, window_instructions=100)
+        selection = select_simpoints(profile, k=3)
+        assert selection.k == 3
+
+    def test_window_slice_extracts_right_instructions(self):
+        chunks = [TraceChunk(np.full(60, i * 4, dtype=np.int64)) for i in range(5)]
+        window = window_slice(chunks, window=1, window_instructions=100)
+        assert len(window) == 100
+        # Window 1 spans instructions 100..200: chunks 1 (tail 20), 2, 3 (head 20).
+        assert window.pcs[0] == 4 and window.pcs[-1] == 12
+
+    def test_window_beyond_trace_rejected(self):
+        chunks = [TraceChunk(np.zeros(50, dtype=np.int64))]
+        with pytest.raises(ConfigurationError):
+            window_slice(chunks, window=3, window_instructions=100)
+
+    def test_estimate_weighted_reproduces_phase_mean(self):
+        chunks = phase_trace([0x0, 0x10000], windows_per_phase=4, repeats=1)
+        selection = select_simpoints_for_trace(chunks, window_instructions=100)
+        # Metric: 1.0 for windows of phase A (pcs < 0x10000), else 0.0.
+        def metric(window):
+            return 1.0 if window < 4 else 0.0
+
+        assert estimate_weighted(selection, metric) == pytest.approx(0.5)

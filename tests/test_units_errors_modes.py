@@ -1,0 +1,120 @@
+"""Tests for repro.units, repro.errors and repro.core.modes."""
+
+import pytest
+
+import repro
+from repro.core.modes import Mode
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    IntervalError,
+    PolicyError,
+    PowerModelError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.units import (
+    BOLTZMANN,
+    DEFAULT_TEMPERATURE_K,
+    ELECTRON_CHARGE,
+    as_percentage,
+    cycle_time_s,
+    joules_to_leakage_cycles,
+    leakage_cycles_to_joules,
+    thermal_voltage,
+)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "subtype",
+        [
+            ConfigurationError,
+            ExperimentError,
+            IntervalError,
+            PolicyError,
+            PowerModelError,
+            SimulationError,
+            TraceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subtype):
+        assert issubclass(subtype, ReproError)
+
+    def test_top_level_reexports(self):
+        assert repro.ReproError is ReproError
+        assert repro.PolicyError is PolicyError
+
+
+class TestUnits:
+    def test_thermal_voltage_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_default_is_hot(self):
+        assert thermal_voltage() == pytest.approx(
+            BOLTZMANN * DEFAULT_TEMPERATURE_K / ELECTRON_CHARGE
+        )
+        assert thermal_voltage() > thermal_voltage(300.0)
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            thermal_voltage(0)
+
+    def test_cycle_time(self):
+        assert cycle_time_s(2.0e9) == pytest.approx(0.5e-9)
+        with pytest.raises(ConfigurationError):
+            cycle_time_s(-1)
+
+    def test_energy_conversion_roundtrip(self):
+        cycles = joules_to_leakage_cycles(1e-9, line_leakage_w=1e-6, frequency_hz=2e9)
+        back = leakage_cycles_to_joules(cycles, line_leakage_w=1e-6, frequency_hz=2e9)
+        assert back == pytest.approx(1e-9)
+
+    def test_conversion_rejects_bad_leakage(self):
+        with pytest.raises(ConfigurationError):
+            joules_to_leakage_cycles(1.0, 0.0, 1e9)
+        with pytest.raises(ConfigurationError):
+            leakage_cycles_to_joules(1.0, -1.0, 1e9)
+
+    def test_as_percentage(self):
+        assert as_percentage(0.964) == "96.4%"
+        assert as_percentage(0.5, digits=0) == "50%"
+
+
+class TestModes:
+    def test_three_modes(self):
+        assert {m.value for m in Mode} == {"active", "drowsy", "sleep"}
+
+    def test_state_preservation(self):
+        assert Mode.ACTIVE.preserves_state
+        assert Mode.DROWSY.preserves_state
+        assert not Mode.SLEEP.preserves_state
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for name in ("cache", "core", "cpu", "experiments", "power",
+                     "prefetch", "simpoint", "workloads"):
+            assert hasattr(repro, name)
+
+    def test_core_public_api(self):
+        from repro import core
+
+        for symbol in core.__all__:
+            assert hasattr(core, symbol), symbol
+
+    def test_power_public_api(self):
+        from repro import power
+
+        for symbol in power.__all__:
+            assert hasattr(power, symbol), symbol
+
+    def test_prefetch_public_api(self):
+        from repro import prefetch
+
+        for symbol in prefetch.__all__:
+            assert hasattr(prefetch, symbol), symbol
