@@ -7,7 +7,7 @@ Prefetch-B approaches it within a few points.
 
 from conftest import report
 
-from repro.experiments.figure8 import SCHEMES, compute, run as run_figure8
+from repro.experiments.figure8 import compute, run as run_figure8
 
 
 def test_figure8(benchmark, warm_suite):

@@ -11,6 +11,7 @@ from repro.core.intervals import IntervalSet
 from repro.core.policy import OptHybrid
 from repro.core.savings import evaluate_policy
 from repro.cpu.simulator import TraceSimulator
+from repro.engine import ExecutionEngine, NullStore, ResultStore, SimulationJob
 from repro.power.technology import paper_nodes
 from repro.prefetch.analysis import AnnotatingSimulator
 from repro.simpoint.bbv import profile_trace
@@ -38,6 +39,29 @@ def test_annotating_simulator_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=2, iterations=1)
     assert result.result.instructions > 50_000
+
+
+def test_engine_parallel_throughput(benchmark):
+    """Suite fan-out through the execution engine (uncached, 2 workers)."""
+    jobs = [SimulationJob(name, scale=0.05) for name in ("gzip", "ammp")]
+
+    def run():
+        return ExecutionEngine(jobs=2, store=NullStore()).run(jobs)
+
+    outcomes = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(o.annotated.result.instructions > 50_000 for o in outcomes.values())
+
+
+def test_engine_warm_cache_throughput(benchmark, tmp_path):
+    """A warm-cache engine pass must cost milliseconds, not simulations."""
+    jobs = [SimulationJob(name, scale=0.05) for name in ("gzip", "ammp")]
+    ExecutionEngine(jobs=1, store=ResultStore(tmp_path)).run(jobs)
+
+    def run():
+        return ExecutionEngine(jobs=1, store=ResultStore(tmp_path)).run(jobs)
+
+    outcomes = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(o.source == "cached" for o in outcomes.values())
 
 
 def test_policy_evaluation_throughput(benchmark):

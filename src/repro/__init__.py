@@ -21,6 +21,8 @@ the answer rests on:
 * :mod:`repro.prefetch` — next-line and stride prefetchers, interval
   prefetchability, and the Prefetch-A/B oracle approximations.
 * :mod:`repro.experiments` — one harness per paper table/figure.
+* :mod:`repro.engine` — the execution substrate: parallel simulation
+  with on-disk result caching, fault tolerance and run telemetry.
 
 Quickstart::
 
@@ -40,9 +42,10 @@ or, for the full pipeline::
     print(report.describe())
 """
 
-from . import cache, core, cpu, experiments, power, prefetch, simpoint, workloads
+from . import cache, core, cpu, engine, experiments, power, prefetch, simpoint, workloads
 from .errors import (
     ConfigurationError,
+    EngineError,
     ExperimentError,
     IntervalError,
     PolicyError,
@@ -56,6 +59,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConfigurationError",
+    "EngineError",
     "ExperimentError",
     "IntervalError",
     "PolicyError",
@@ -66,6 +70,7 @@ __all__ = [
     "cache",
     "core",
     "cpu",
+    "engine",
     "experiments",
     "power",
     "prefetch",

@@ -22,7 +22,7 @@ class ReplacementPolicy:
     def __init__(self, n_sets: int, associativity: int) -> None:
         if n_sets <= 0 or associativity <= 0:
             raise ConfigurationError(
-                f"invalid geometry for replacement policy: "
+                "invalid geometry for replacement policy: "
                 f"{(n_sets, associativity)!r}"
             )
         self.n_sets = n_sets

@@ -6,6 +6,14 @@ Regenerates any of the paper's tables and figures::
     repro-leakage table1
     repro-leakage figure8 --scale 0.5
     repro-leakage all --scale 0.5 --output results.txt
+
+Simulations go through the execution engine: benchmark jobs fan out over
+worker processes (``--jobs`` / ``REPRO_JOBS``), results are cached on
+disk under ``~/.cache/repro-leakage`` (``REPRO_CACHE_DIR`` overrides,
+``--no-cache`` bypasses), and a telemetry footer — exportable as JSON
+via ``--manifest`` — reports where the time went.  The report on stdout
+is byte-identical whatever the worker count or cache state; telemetry
+goes to stderr.
 """
 
 from __future__ import annotations
@@ -14,9 +22,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .engine import ExecutionEngine, NullStore
 from .errors import ReproError
 from .experiments.runner import experiment_names, run_all, run_experiment
 from .experiments.suite import SuiteRunner
+from .workloads.benchmarks import BENCHMARK_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +54,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks",
         nargs="*",
         default=None,
-        help="restrict the suite to these benchmarks",
+        help=f"restrict the suite to these benchmarks (from: {BENCHMARK_NAMES})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulation worker processes (default: REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (neither read nor write it)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the run telemetry manifest as JSON to this file",
     )
     parser.add_argument(
         "--output",
@@ -67,8 +95,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in experiment_names():
             print(name)
         return 0
-    suite = SuiteRunner(scale=args.scale, benchmarks=args.benchmarks)
+    benchmarks = args.benchmarks
+    if benchmarks is not None:
+        benchmarks = [name.lower() for name in benchmarks]
+        unknown = [name for name in benchmarks if name not in BENCHMARK_NAMES]
+        if unknown:
+            print(
+                f"error: unknown benchmarks {unknown}; "
+                f"choose from {BENCHMARK_NAMES}",
+                file=sys.stderr,
+            )
+            return 2
     try:
+        engine = ExecutionEngine(
+            jobs=args.jobs, store=NullStore() if args.no_cache else None
+        )
+        suite = SuiteRunner(scale=args.scale, benchmarks=benchmarks, engine=engine)
         if args.experiment == "all":
             results = run_all(suite)
         else:
@@ -86,6 +128,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         for result in results:
             save_csv(result, args.csv)
+    telemetry = engine.telemetry
+    if telemetry.jobs:
+        print(telemetry.summary(), file=sys.stderr)
+    if args.manifest:
+        telemetry.write_manifest(args.manifest)
     return 0
 
 

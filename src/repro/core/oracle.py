@@ -20,7 +20,7 @@ import numpy as np
 from ..errors import PolicyError
 from .energy import ModeEnergyModel
 from .envelope import envelope_array
-from .policy import ACTIVE, DROWSY, SLEEP
+from .policy import DROWSY, SLEEP
 
 
 def oracle_modes(model: ModeEnergyModel, lengths: np.ndarray) -> np.ndarray:

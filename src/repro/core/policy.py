@@ -29,7 +29,7 @@ import numpy as np
 from ..errors import PolicyError
 from .energy import ModeEnergyModel
 from .inflection import InflectionPoints, inflection_points
-from .intervals import IntervalKind, IntervalSet
+from .intervals import IntervalKind
 from .modes import Mode
 
 #: Integer codes used in vectorized mode arrays.

@@ -1,0 +1,65 @@
+"""Execution engine: parallel, fault-tolerant simulation with caching.
+
+The substrate under every experiment.  Jobs (:mod:`~repro.engine.jobs`)
+name deterministic simulation points; :class:`ExecutionEngine`
+(:mod:`~repro.engine.parallel`) resolves them through a content-addressed
+on-disk cache (:mod:`~repro.engine.store`), a worker-process pool with
+serial fallback (:mod:`~repro.engine.robustness`), and run telemetry
+(:mod:`~repro.engine.telemetry`).
+
+Quickstart::
+
+    from repro.engine import ExecutionEngine, SimulationJob
+
+    engine = ExecutionEngine(jobs=4)
+    outcomes = engine.run([SimulationJob("gzip", scale=0.25),
+                           SimulationJob("ammp", scale=0.25)])
+    print(engine.telemetry.summary())
+"""
+
+from .jobs import (
+    SCHEMA_VERSION,
+    SOURCE_CACHED,
+    SOURCE_FALLBACK,
+    SOURCE_PARALLEL,
+    SOURCE_SERIAL,
+    JobOutcome,
+    SimulationJob,
+    execute_job,
+)
+from .parallel import ENV_JOBS, ExecutionEngine, resolve_worker_count
+from .robustness import ENV_JOB_TIMEOUT, attempt_parallel, default_job_timeout
+from .store import (
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    NullStore,
+    ResultStore,
+    resolve_cache_dir,
+)
+from .telemetry import MANIFEST_VERSION, JobRecord, RunTelemetry, Stopwatch
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ENV_JOBS",
+    "ENV_JOB_TIMEOUT",
+    "ExecutionEngine",
+    "JobOutcome",
+    "JobRecord",
+    "MANIFEST_VERSION",
+    "NullStore",
+    "ResultStore",
+    "RunTelemetry",
+    "SCHEMA_VERSION",
+    "SOURCE_CACHED",
+    "SOURCE_FALLBACK",
+    "SOURCE_PARALLEL",
+    "SOURCE_SERIAL",
+    "SimulationJob",
+    "Stopwatch",
+    "attempt_parallel",
+    "default_job_timeout",
+    "execute_job",
+    "resolve_cache_dir",
+    "resolve_worker_count",
+]

@@ -1,0 +1,96 @@
+"""Deterministic simulation jobs: the engine's unit of work.
+
+A :class:`SimulationJob` names one (benchmark, scale, pipeline) point of
+the experiment space.  Jobs are frozen, hashable and picklable, so they
+can be fanned out to worker processes, deduplicated, and used as cache
+keys.  :func:`execute_job` is the *only* way the engine simulates — it is
+a pure function of the job parameters (workload generators are seeded),
+which is what makes parallel execution bit-identical to serial execution
+and on-disk caching sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from ..cpu.pipeline import PipelineConfig
+from ..errors import EngineError
+from ..prefetch.analysis import AnnotatedSimulationResult, AnnotatingSimulator
+from ..workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
+
+#: Version of the pickled result payload *and* of the simulation
+#: substrate's observable behaviour.  Bump it whenever a change to the
+#: simulator, workload generators or annotation logic alters results:
+#: every existing cache entry is then version-mismatched, evicted on
+#: first read, and transparently recomputed.
+SCHEMA_VERSION = 1
+
+#: ``JobOutcome.source`` values.
+SOURCE_CACHED = "cached"
+SOURCE_PARALLEL = "parallel"
+SOURCE_SERIAL = "serial"
+SOURCE_FALLBACK = "serial-fallback"
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One benchmark simulation point: name x scale x pipeline config."""
+
+    benchmark: str
+    scale: float = 1.0
+    pipeline: Optional[PipelineConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in BENCHMARK_NAMES:
+            raise EngineError(
+                f"unknown benchmark {self.benchmark!r}; known: {BENCHMARK_NAMES}"
+            )
+        if not self.scale > 0:
+            raise EngineError(f"scale must be positive, got {self.scale!r}")
+
+    def fingerprint(self) -> Dict:
+        """Canonical, JSON-stable parameter record this job is keyed by."""
+        return {
+            "benchmark": self.benchmark,
+            "scale": repr(float(self.scale)),
+            "pipeline": None if self.pipeline is None else asdict(self.pipeline),
+        }
+
+    def key(self) -> str:
+        """Content address: SHA-256 over the canonical parameters.
+
+        The payload schema version is deliberately *not* part of the key;
+        it lives in the cache entry's header so a version bump is detected
+        as a mismatch and evicts the stale entry (see ``store.py``).
+        """
+        canonical = json.dumps(self.fingerprint(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and telemetry."""
+        return f"{self.benchmark}@{self.scale:g}"
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result plus how and how fast it was obtained."""
+
+    job: SimulationJob
+    annotated: AnnotatedSimulationResult
+    source: str
+    wall_seconds: float
+
+    @property
+    def simulated(self) -> bool:
+        """Whether this outcome ran a simulation (vs. a cache hit)."""
+        return self.source != SOURCE_CACHED
+
+
+def execute_job(job: SimulationJob) -> AnnotatedSimulationResult:
+    """Simulate one job; deterministic in the job parameters."""
+    workload = make_benchmark(job.benchmark, scale=job.scale)
+    simulator = AnnotatingSimulator(pipeline=job.pipeline)
+    return simulator.run(workload.chunks())

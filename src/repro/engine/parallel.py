@@ -1,0 +1,162 @@
+"""The execution engine: cache-aware, parallel, fault-tolerant job runs.
+
+:class:`ExecutionEngine` is the single entry point the experiment layer
+uses to obtain simulation results.  For every requested job it
+
+1. consults the on-disk :class:`~repro.engine.store.ResultStore`
+   (content-addressed by job parameters — a warm cache run performs zero
+   simulations);
+2. fans the misses out over a ``ProcessPoolExecutor`` sized by
+   ``--jobs`` / ``REPRO_JOBS`` / ``os.cpu_count()``, falling back to
+   serial in-process execution whenever the pool misbehaves
+   (:mod:`~repro.engine.robustness`);
+3. writes fresh results back to the store and records everything in a
+   :class:`~repro.engine.telemetry.RunTelemetry`.
+
+Because :func:`~repro.engine.jobs.execute_job` is deterministic, serial
+and parallel execution produce bit-identical results; the engine only
+changes *when* and *where* simulations run, never what they compute.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import EngineError
+from .jobs import (
+    SOURCE_CACHED,
+    SOURCE_FALLBACK,
+    SOURCE_PARALLEL,
+    SOURCE_SERIAL,
+    JobOutcome,
+    SimulationJob,
+    execute_job,
+)
+from .robustness import attempt_parallel, default_job_timeout
+from .store import ResultStore
+from .telemetry import RunTelemetry, Stopwatch
+
+#: Environment variable supplying the default worker count.
+ENV_JOBS = "REPRO_JOBS"
+
+
+def resolve_worker_count(value: Optional[int] = None) -> int:
+    """Worker count from the argument, ``REPRO_JOBS``, or the CPU count."""
+    if value is None:
+        raw = os.environ.get(ENV_JOBS)
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise EngineError(
+                    f"{ENV_JOBS} must be an integer, got {raw!r}"
+                ) from None
+    if value is None:
+        value = os.cpu_count() or 1
+    value = int(value)
+    if value < 1:
+        raise EngineError(f"worker count must be at least 1, got {value!r}")
+    return value
+
+
+class ExecutionEngine:
+    """Runs simulation jobs through the cache, the pool, and telemetry."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store: Optional[object] = None,
+        timeout: Optional[float] = None,
+        telemetry: Optional[RunTelemetry] = None,
+    ) -> None:
+        self.max_workers = resolve_worker_count(jobs)
+        self.store = store if store is not None else ResultStore()
+        self.timeout = timeout if timeout is not None else default_job_timeout()
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
+        self.telemetry.context.update(
+            {
+                "max_workers": self.max_workers,
+                "cache_dir": self.store.describe(),
+                "timeout_seconds": self.timeout,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self, jobs: Sequence[SimulationJob]
+    ) -> Dict[SimulationJob, JobOutcome]:
+        """Obtain every job's result; cache first, then parallel, then serial.
+
+        Results are keyed by job and independent of execution order, so
+        callers see identical outputs whatever path produced them.
+        """
+        ordered = self._deduplicate(jobs)
+        run_start = time.perf_counter()
+        outcomes: Dict[SimulationJob, JobOutcome] = {}
+
+        pending: List[SimulationJob] = []
+        for job in ordered:
+            with Stopwatch() as sw:
+                hit = self.store.get(job.key())
+            if hit is not None:
+                outcomes[job] = JobOutcome(job, hit, SOURCE_CACHED, sw.seconds)
+            else:
+                pending.append(job)
+
+        if pending:
+            self._run_pending(pending, outcomes)
+
+        self.telemetry.add_wall(time.perf_counter() - run_start)
+        for job in ordered:
+            self.telemetry.record_outcome(outcomes[job])
+        return outcomes
+
+    def run_one(self, job: SimulationJob) -> JobOutcome:
+        """Convenience wrapper: run a single job."""
+        return self.run([job])[job]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _deduplicate(jobs: Sequence[SimulationJob]) -> List[SimulationJob]:
+        seen = set()
+        ordered = []
+        for job in jobs:
+            if job not in seen:
+                seen.add(job)
+                ordered.append(job)
+        return ordered
+
+    def _run_pending(
+        self,
+        pending: List[SimulationJob],
+        outcomes: Dict[SimulationJob, JobOutcome],
+    ) -> None:
+        pool_attempted = self.max_workers > 1 and len(pending) > 1
+        if pool_attempted:
+            completed, leftovers, notes = attempt_parallel(
+                pending, self.max_workers, self.timeout
+            )
+            for note in notes:
+                self.telemetry.note(note)
+            for job, (annotated, wall) in completed.items():
+                outcomes[job] = JobOutcome(job, annotated, SOURCE_PARALLEL, wall)
+                self.store.put(job.key(), annotated)
+        else:
+            leftovers = pending
+
+        source = SOURCE_FALLBACK if pool_attempted else SOURCE_SERIAL
+        for job in leftovers:
+            try:
+                with Stopwatch() as sw:
+                    annotated = execute_job(job)
+            except Exception as error:
+                self.telemetry.record_failure(job, error)
+                raise
+            outcomes[job] = JobOutcome(job, annotated, source, sw.seconds)
+            self.store.put(job.key(), annotated)

@@ -1,0 +1,118 @@
+"""Fault tolerance for the parallel path.
+
+The engine must never be *less* reliable than the serial code it
+replaced, so every parallel-infrastructure failure degrades to in-process
+serial execution instead of propagating:
+
+* the worker pool cannot start (sandboxed environment, fork limits,
+  missing ``/dev/shm``) — every job runs serially;
+* a worker process dies (``BrokenProcessPool``) — the pool is abandoned
+  and the unfinished jobs run serially;
+* a job exceeds the per-job timeout — the pool is abandoned (its workers
+  cannot be force-killed portably, so waiting longer is the only thing
+  abandoning avoids) and the unfinished jobs run serially;
+* a job *raises* inside a worker — it is retried serially so a genuine
+  simulation error surfaces with a clean in-process traceback.
+
+Simulation is deterministic in the job parameters, so a serial retry is
+always equivalent — robustness never changes results, only where and
+when they are computed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EngineError
+from .jobs import SimulationJob, execute_job
+
+#: Environment variable supplying a default per-job timeout in seconds.
+ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
+
+
+def default_job_timeout() -> Optional[float]:
+    """Per-job timeout from ``REPRO_JOB_TIMEOUT``, or ``None`` (no limit)."""
+    raw = os.environ.get(ENV_JOB_TIMEOUT)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EngineError(
+            f"{ENV_JOB_TIMEOUT} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise EngineError(
+            f"{ENV_JOB_TIMEOUT} must be positive, got {value!r}"
+        )
+    return value
+
+
+def _worker(job: SimulationJob):
+    """Pool worker: simulate one job and time it (module-level: picklable)."""
+    start = time.perf_counter()
+    annotated = execute_job(job)
+    return annotated, time.perf_counter() - start
+
+
+def attempt_parallel(
+    jobs: Sequence[SimulationJob],
+    max_workers: int,
+    timeout: Optional[float] = None,
+    worker: Callable = _worker,
+) -> Tuple[Dict[SimulationJob, Tuple[object, float]], List[SimulationJob], List[str]]:
+    """Run jobs on a process pool, surviving every pool failure.
+
+    Returns ``(completed, leftovers, notes)``: results that the pool
+    delivered, jobs the caller must run serially, and human-readable notes
+    describing any degradation.  ``completed[job]`` is an
+    ``(annotated_result, worker_wall_seconds)`` pair.
+    """
+    completed: Dict[SimulationJob, Tuple[object, float]] = {}
+    notes: List[str] = []
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(max_workers, len(jobs)))
+    except (OSError, ValueError, PermissionError) as error:
+        notes.append(f"worker pool failed to start ({error}); running serially")
+        return completed, list(jobs), notes
+    try:
+        try:
+            futures = [(executor.submit(worker, job), job) for job in jobs]
+        except BrokenProcessPool as error:
+            notes.append(f"worker pool broke on submit ({error}); running serially")
+            return completed, list(jobs), notes
+        abandoned = False
+        for future, job in futures:
+            if abandoned:
+                continue
+            try:
+                annotated, wall = future.result(timeout=timeout)
+                completed[job] = (annotated, wall)
+            except FutureTimeoutError:
+                notes.append(
+                    f"job {job.describe()} exceeded the {timeout:g}s timeout; "
+                    "abandoning the pool and finishing serially"
+                )
+                abandoned = True
+            except BrokenProcessPool:
+                notes.append(
+                    "a worker process died; abandoning the pool and "
+                    "finishing serially"
+                )
+                abandoned = True
+            except Exception as error:
+                # The job itself raised: retry serially for a clean,
+                # in-process traceback (and to rule out pool flakiness).
+                notes.append(
+                    f"job {job.describe()} raised in a worker "
+                    f"({type(error).__name__}); retrying serially"
+                )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    leftovers = [job for job in jobs if job not in completed]
+    return completed, leftovers, notes

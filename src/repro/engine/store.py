@@ -1,0 +1,178 @@
+"""Content-addressed on-disk result cache.
+
+Entries are stored one file per job key under a cache directory
+(``~/.cache/repro-leakage`` by default, overridable via the
+``REPRO_CACHE_DIR`` environment variable or an explicit path).  Each
+file is a one-line JSON header followed by the pickled payload::
+
+    {"schema_version": 1, "checksum": "<sha256 of payload bytes>"}\\n
+    <pickle bytes>
+
+Reads validate both fields before unpickling: a schema-version mismatch
+(the substrate changed and :data:`~repro.engine.jobs.SCHEMA_VERSION` was
+bumped) or a checksum mismatch (truncated or corrupted file) evicts the
+entry and reports a miss, so the engine transparently recomputes.  Writes
+go through a temporary file and an atomic rename, so a crashed or
+interrupted run never leaves a half-written entry behind; write failures
+(read-only or full disk) degrade to running uncached rather than raising.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from .jobs import SCHEMA_VERSION
+
+#: Environment variable overriding the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default cache location when neither argument nor environment is set.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-leakage"
+
+
+def resolve_cache_dir(directory: Optional[os.PathLike] = None) -> Path:
+    """Cache directory from the argument, the environment, or the default."""
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return DEFAULT_CACHE_DIR
+
+
+class ResultStore:
+    """Pickle-backed result cache keyed by job content address."""
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.directory = resolve_cache_dir(directory)
+        self.schema_version = schema_version
+        #: Counters exposed for telemetry and tests.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.write_errors = 0
+
+    def path_for(self, key: str) -> Path:
+        """The entry file backing one job key."""
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored payload, or ``None`` on miss/mismatch/corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            header_line, _, payload = raw.partition(b"\n")
+            header = json.loads(header_line)
+            if header.get("schema_version") != self.schema_version:
+                raise ValueError("schema version mismatch")
+            checksum = hashlib.sha256(payload).hexdigest()
+            if header.get("checksum") != checksum:
+                raise ValueError("payload checksum mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            # Stale schema, truncation, bit rot, or an unpicklable payload:
+            # evict so the slot is clean for the recomputed result.
+            self.evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store a payload atomically; returns whether the write landed."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps(
+            {
+                "schema_version": self.schema_version,
+                "checksum": hashlib.sha256(payload).hexdigest(),
+            }
+        ).encode("utf-8")
+        path = self.path_for(key)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(header + b"\n" + payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A broken cache must never break the run: fall back to
+            # uncached operation and record the failure for telemetry.
+            self.write_errors += 1
+            return False
+        return True
+
+    def evict(self, key: str) -> None:
+        """Remove one entry (missing entries are fine)."""
+        try:
+            self.path_for(key).unlink()
+            self.evictions += 1
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many files were deleted."""
+        removed = 0
+        try:
+            entries = list(self.directory.glob("*.pkl"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        """Location string for telemetry output."""
+        return str(self.directory)
+
+
+class NullStore:
+    """Cache bypass (``--no-cache``): every read misses, writes vanish."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.write_errors = 0
+
+    def get(self, key: str) -> None:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> bool:
+        return False
+
+    def evict(self, key: str) -> None:
+        pass
+
+    def clear(self) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "disabled"

@@ -1,0 +1,216 @@
+"""Run telemetry: where the time and the simulated cycles went.
+
+The engine records one :class:`JobRecord` per job outcome plus run-level
+wall time, and :class:`RunTelemetry` turns them into
+
+* a JSON *manifest* (``--manifest PATH``) for tooling, and
+* a one-paragraph *summary footer* for humans.
+
+Timers are monotonic and deliberately lightweight (one ``perf_counter``
+pair per job); they add nothing measurable to multi-second simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .jobs import SOURCE_CACHED, JobOutcome
+
+#: Version of the manifest JSON layout, independent of the result cache's
+#: payload schema version.
+MANIFEST_VERSION = 1
+
+
+class Stopwatch:
+    """Context-manager wall timer: ``with Stopwatch() as sw: ...``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's telemetry row."""
+
+    benchmark: str
+    scale: float
+    key: str
+    source: str
+    wall_seconds: float
+    instructions: int
+    cycles: int
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulation throughput of this job (0 for instant cache hits)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds
+
+
+@dataclass
+class RunTelemetry:
+    """Accumulates job records and run wall time across engine runs."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    failures: List[Dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    context: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_outcome(self, outcome: JobOutcome) -> None:
+        """Add one job outcome's telemetry row."""
+        result = outcome.annotated.result
+        self.records.append(
+            JobRecord(
+                benchmark=outcome.job.benchmark,
+                scale=float(outcome.job.scale),
+                key=outcome.job.key(),
+                source=outcome.source,
+                wall_seconds=outcome.wall_seconds,
+                instructions=int(result.instructions),
+                cycles=int(result.cycles),
+            )
+        )
+
+    def record_failure(self, job, error: BaseException) -> None:
+        """Add one permanently-failed job."""
+        self.failures.append(
+            {
+                "benchmark": job.benchmark,
+                "scale": float(job.scale),
+                "key": job.key(),
+                "error": f"{type(error).__name__}: {error}",
+            }
+        )
+
+    def note(self, message: str) -> None:
+        """Attach a free-form robustness note (pool fallbacks, evictions)."""
+        self.notes.append(message)
+
+    def add_wall(self, seconds: float) -> None:
+        """Accumulate run-level wall time (one engine.run call)."""
+        self.wall_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return len(self.records) + len(self.failures)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for r in self.records if r.source == SOURCE_CACHED)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for r in self.records if r.source != SOURCE_CACHED)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def serial_fallbacks(self) -> int:
+        return sum(1 for r in self.records if r.source == "serial-fallback")
+
+    @property
+    def instructions(self) -> int:
+        """Instructions delivered across all jobs, cached ones included."""
+        return sum(r.instructions for r in self.records)
+
+    @property
+    def simulated_instructions(self) -> int:
+        return sum(r.instructions for r in self.records if r.source != SOURCE_CACHED)
+
+    @property
+    def throughput(self) -> float:
+        """Simulated instructions per wall second of engine runtime."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.simulated_instructions / self.wall_seconds
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict:
+        """The full run manifest as a JSON-ready dict."""
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "engine": dict(self.context),
+            "totals": {
+                "jobs": self.jobs,
+                "cached": self.cached,
+                "simulated": self.simulated,
+                "failed": self.failed,
+                "serial_fallbacks": self.serial_fallbacks,
+                "wall_seconds": self.wall_seconds,
+                "instructions": self.instructions,
+                "simulated_instructions": self.simulated_instructions,
+                "instructions_per_second": self.throughput,
+            },
+            "jobs": [
+                {
+                    "benchmark": r.benchmark,
+                    "scale": r.scale,
+                    "key": r.key,
+                    "source": r.source,
+                    "wall_seconds": r.wall_seconds,
+                    "instructions": r.instructions,
+                    "cycles": r.cycles,
+                    "instructions_per_second": r.instructions_per_second,
+                }
+                for r in self.records
+            ],
+            "failures": list(self.failures),
+            "notes": list(self.notes),
+        }
+
+    def write_manifest(self, path) -> str:
+        """Write the manifest as indented JSON; returns the path written."""
+        target = Path(path)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return str(target)
+
+    def summary(self) -> str:
+        """Human-readable run footer."""
+        if self.jobs == 0:
+            return "engine: no simulation jobs (static experiments only)"
+        parts = [
+            f"engine: {self.jobs} job{'s' if self.jobs != 1 else ''}",
+            f"({self.simulated} simulated, {self.cached} cached"
+            + (f", {self.failed} failed" if self.failed else "")
+            + ")",
+            f"in {self.wall_seconds:.2f}s",
+        ]
+        if self.simulated:
+            mi = self.simulated_instructions / 1e6
+            parts.append(f"| {mi:.2f}M instructions at {self.throughput:,.0f} inst/s")
+        if self.serial_fallbacks:
+            parts.append(f"| {self.serial_fallbacks} serial fallback(s)")
+        cache_dir = self.context.get("cache_dir")
+        if cache_dir:
+            parts.append(f"| cache: {cache_dir}")
+        return " ".join(parts)

@@ -63,3 +63,12 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown name or bad args."""
+
+
+class EngineError(ReproError):
+    """The execution engine was misconfigured or reached a broken state.
+
+    Raised for invalid jobs (unknown benchmark, non-positive scale),
+    invalid worker counts or timeouts, and engine-level invariants; pool
+    and cache *failures* are handled by falling back, not by raising.
+    """

@@ -16,7 +16,6 @@ text makes in passing:
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 

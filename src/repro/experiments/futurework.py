@@ -12,7 +12,7 @@ wake-up stall overhead at each point.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -23,12 +23,12 @@ from .reporting import ExperimentResult, Table, fmt_pct
 from .suite import SuiteRunner
 
 #: Threshold sweep: B (= a), through the interval spectrum, to A (= inf).
-DEFAULT_THRESHOLDS: List[float] = [6, 100, 1057, 10_000, 100_000, math.inf]
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (6, 100, 1057, 10_000, 100_000, math.inf)
 
 
 def compute(
     suite: SuiteRunner,
-    thresholds: Sequence[float] = tuple(DEFAULT_THRESHOLDS),
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
     feature_nm: int = 70,
 ) -> Dict[str, List[TradeoffPoint]]:
     """Suite-average frontier per cache."""

@@ -74,9 +74,20 @@ def run_experiment(
 def run_all(
     suite: Optional[SuiteRunner] = None, names: Optional[List[str]] = None
 ) -> List[ExperimentResult]:
-    """Run several (default: all) experiments with one shared suite."""
+    """Run several (default: all) experiments with one shared suite.
+
+    ``names`` is validated up front so a typo surfaces before any
+    simulation runs, not after earlier experiments have already spent
+    minutes simulating; the error lists *every* unknown name at once.
+    """
     if names is None:
         names = experiment_names()
+    else:
+        unknown = [n for n in names if n not in _STATIC and n not in _SUITE]
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiments {unknown}; known: {experiment_names()}"
+            )
     if suite is None and any(name in _SUITE for name in names):
         suite = SuiteRunner()
     return [run_experiment(name, suite) for name in names]

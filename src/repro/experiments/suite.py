@@ -1,9 +1,13 @@
-"""Shared benchmark-suite runner with in-process caching.
+"""Shared benchmark-suite runner on top of the execution engine.
 
 Several experiments (Table 2, Figures 7/8/9) consume the same six
-simulations; :class:`SuiteRunner` runs each benchmark once per
-(scale, pipeline) configuration and hands out the annotated results, so
-a full experiment session simulates the suite exactly once.
+simulations; :class:`SuiteRunner` hands out each benchmark's annotated
+results for one (scale, pipeline) configuration.  Since PR 1 the actual
+simulation goes through :class:`~repro.engine.parallel.ExecutionEngine`:
+results come from the on-disk cache when available, misses fan out over
+worker processes, and a per-instance in-memory layer preserves the old
+guarantee that one ``SuiteRunner`` simulates each benchmark exactly once
+and always returns the same objects.
 """
 
 from __future__ import annotations
@@ -11,14 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from ..engine import ExecutionEngine, SimulationJob
 from ..errors import ExperimentError
 from ..prefetch.analysis import (
     AnnotatedIntervals,
     AnnotatedSimulationResult,
-    AnnotatingSimulator,
 )
 from ..cpu.pipeline import PipelineConfig
-from ..workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
+from ..workloads.benchmarks import BENCHMARK_NAMES
 
 #: Default workload scale for experiments: full calibration scale.
 DEFAULT_SCALE = 1.0
@@ -42,13 +46,14 @@ class BenchmarkRun:
 
 
 class SuiteRunner:
-    """Runs and caches the §4.1 benchmark suite."""
+    """Runs and caches the §4.1 benchmark suite through the engine."""
 
     def __init__(
         self,
         scale: float = DEFAULT_SCALE,
         pipeline: Optional[PipelineConfig] = None,
         benchmarks: Optional[Iterable[str]] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         if scale <= 0:
             raise ExperimentError(f"scale must be positive, got {scale!r}")
@@ -57,26 +62,45 @@ class SuiteRunner:
         self.benchmark_names: List[str] = (
             list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
         )
+        unknown = [n for n in self.benchmark_names if n not in BENCHMARK_NAMES]
+        if unknown:
+            raise ExperimentError(
+                f"unknown benchmarks {unknown}; known: {BENCHMARK_NAMES}"
+            )
+        self._engine = engine
         self._cache: Dict[str, BenchmarkRun] = {}
 
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The backing engine (a default one is created lazily)."""
+        if self._engine is None:
+            self._engine = ExecutionEngine()
+        return self._engine
+
+    def _job(self, name: str) -> SimulationJob:
+        return SimulationJob(name, scale=self.scale, pipeline=self.pipeline)
+
     def run(self, name: str) -> BenchmarkRun:
-        """Simulate one benchmark (cached)."""
+        """Simulate one benchmark (cached in memory and on disk)."""
         if name not in self.benchmark_names:
             raise ExperimentError(
                 f"benchmark {name!r} is not in this runner's suite "
                 f"{self.benchmark_names}"
             )
         if name not in self._cache:
-            workload = make_benchmark(name, scale=self.scale)
-            simulator = AnnotatingSimulator(pipeline=self.pipeline)
-            self._cache[name] = BenchmarkRun(
-                name=name, annotated=simulator.run(workload.chunks())
-            )
+            outcome = self.engine.run_one(self._job(name))
+            self._cache[name] = BenchmarkRun(name=name, annotated=outcome.annotated)
         return self._cache[name]
 
     def all_runs(self) -> Dict[str, BenchmarkRun]:
-        """Simulate the whole suite (cached)."""
-        return {name: self.run(name) for name in self.benchmark_names}
+        """Simulate the whole suite; misses fan out across workers."""
+        missing = [n for n in self.benchmark_names if n not in self._cache]
+        if missing:
+            outcomes = self.engine.run([self._job(n) for n in missing])
+            for name in missing:
+                annotated = outcomes[self._job(name)].annotated
+                self._cache[name] = BenchmarkRun(name=name, annotated=annotated)
+        return {name: self._cache[name] for name in self.benchmark_names}
 
     def intervals_by_benchmark(self, cache: str) -> Dict[str, AnnotatedIntervals]:
         """Annotated interval populations per benchmark for one cache."""

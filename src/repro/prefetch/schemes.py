@@ -26,7 +26,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..core.energy import ModeEnergyModel
-from ..core.policy import ACTIVE, DROWSY, SLEEP, Policy
+from ..core.policy import DROWSY, SLEEP, Policy
 from ..core.savings import SavingsReport, evaluate_policy
 from ..errors import PolicyError
 from .analysis import AnnotatedIntervals

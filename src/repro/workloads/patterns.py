@@ -205,7 +205,7 @@ class MixturePattern(DataPattern):
         total = sum(weight for _, weight in components)
         if total <= 0 or any(weight < 0 for _, weight in components):
             raise ConfigurationError(
-                f"mixture weights must be non-negative with a positive sum, "
+                "mixture weights must be non-negative with a positive sum, "
                 f"got {[w for _, w in components]!r}"
             )
         self.patterns = [pattern for pattern, _ in components]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cache.cache import INVALID, SetAssociativeCache
+from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import (
     CacheConfig,
     paper_l1d_config,

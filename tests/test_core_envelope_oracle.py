@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.energy import ModeEnergyModel
 from repro.core.envelope import (
     envelope_array,
     envelope_energy,

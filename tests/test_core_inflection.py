@@ -14,7 +14,7 @@ from repro.core.inflection import (
 )
 from repro.core.modes import Mode
 from repro.errors import PowerModelError
-from repro.power.technology import PAPER_INFLECTION_POINTS, paper_nodes
+from repro.power.technology import PAPER_INFLECTION_POINTS
 
 
 class TestTable1:

@@ -1,6 +1,5 @@
 """Tests for repro.core.intervals."""
 
-import numpy as np
 import pytest
 
 from repro.core.intervals import Interval, IntervalKind, IntervalSet

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.energy import ModeEnergyModel
 from repro.core.intervals import IntervalSet
 from repro.core.model import StateMachineModel, Transition, technology_sweep
 from repro.core.modes import Mode

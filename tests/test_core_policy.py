@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.energy import ModeEnergyModel
-from repro.core.intervals import IntervalKind, IntervalSet
+from repro.core.intervals import IntervalKind
 from repro.core.modes import Mode
 from repro.core.policy import (
     ACTIVE,

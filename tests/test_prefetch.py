@@ -5,7 +5,6 @@ import pytest
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig
-from repro.core.energy import ModeEnergyModel
 from repro.core.intervals import IntervalSet
 from repro.cpu.simulator import simulate_trace
 from repro.cpu.trace import TraceChunk

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cpu.trace import LOAD, NO_ACCESS, STORE
+from repro.cpu.trace import LOAD, NO_ACCESS
 from repro.errors import ConfigurationError
 from repro.workloads.benchmarks import (
     BENCHMARK_NAMES,
@@ -19,7 +19,7 @@ from repro.workloads.patterns import (
     StridedSweep,
     ZipfReuse,
 )
-from repro.workloads.program import INSTRUCTION_BYTES, Phase, Visit, Workload
+from repro.workloads.program import Phase, Visit, Workload
 
 
 class TestPatterns:
@@ -100,7 +100,7 @@ class TestPhase:
 
     def test_emit_resumes_mid_body(self):
         phase = Phase("p", 0, body_instructions=10, block_instructions=0)
-        first = phase.emit(6).pcs
+        phase.emit(6)  # consume the first six instructions mid-body
         second = phase.emit(6).pcs
         assert list(second[:4]) == [24, 28, 32, 36]
         assert list(second[4:]) == [0, 4]
