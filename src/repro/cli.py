@@ -6,14 +6,22 @@ Regenerates any of the paper's tables and figures::
     repro-leakage table1
     repro-leakage figure8 --scale 0.5
     repro-leakage all --scale 0.5 --output results.txt
+    repro-leakage cache info
+    repro-leakage all --run-id sweep-1      # checkpointed, resumable
+    repro-leakage all --resume sweep-1      # continue after a crash
 
 Simulations go through the execution engine: benchmark jobs fan out over
-worker processes (``--jobs`` / ``REPRO_JOBS``), results are cached on
-disk under ``~/.cache/repro-leakage`` (``REPRO_CACHE_DIR`` overrides,
-``--no-cache`` bypasses), and a telemetry footer — exportable as JSON
-via ``--manifest`` — reports where the time went.  The report on stdout
-is byte-identical whatever the worker count or cache state; telemetry
-goes to stderr.
+worker processes (``--jobs`` / ``REPRO_JOBS``), failed or timed-out jobs
+are retried per job with deterministic backoff (``REPRO_RETRIES`` /
+``REPRO_RETRY_DELAY``), results are cached on disk under
+``~/.cache/repro-leakage`` (``REPRO_CACHE_DIR`` overrides,
+``REPRO_CACHE_MAX_MB`` bounds the size, ``--no-cache`` bypasses), and a
+telemetry footer — exportable as JSON via ``--manifest`` — reports where
+the time went, including every retry and degradation.  A run started
+with ``--run-id`` journals each completed job, so after a crash
+``--resume`` picks up where it died.  The report on stdout is
+byte-identical whatever the worker count, cache state, fault history or
+resume path; telemetry goes to stderr.
 """
 
 from __future__ import annotations
@@ -22,11 +30,20 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .engine import ExecutionEngine, NullStore
+from .engine import (
+    ExecutionEngine,
+    NullStore,
+    ResultStore,
+    RunJournal,
+    resolve_cache_dir,
+)
 from .errors import ReproError
 from .experiments.runner import experiment_names, run_all, run_experiment
 from .experiments.suite import SuiteRunner
 from .workloads.benchmarks import BENCHMARK_NAMES
+
+#: Valid subactions of the ``cache`` maintenance command.
+CACHE_ACTIONS = ("info", "clear")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,7 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', or 'list' to enumerate experiments",
+        help=(
+            "experiment name, 'all', 'list' to enumerate experiments, or "
+            "'cache' for cache maintenance"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="subaction for 'cache': info (default) or clear",
     )
     parser.add_argument(
         "--scale",
@@ -69,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the on-disk result cache (neither read nor write it)",
     )
     parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="journal this run under ID so it can be resumed after a crash",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="ID",
+        help="resume the interrupted run ID from its journal",
+    )
+    parser.add_argument(
         "--manifest",
         default=None,
         metavar="PATH",
@@ -88,9 +126,76 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def cache_command(action: Optional[str]) -> int:
+    """``repro-leakage cache {info,clear}``: inspect or empty the cache."""
+    action = action or "info"
+    if action not in CACHE_ACTIONS:
+        return _fail(
+            f"unknown cache action {action!r}; choose from {CACHE_ACTIONS}"
+        )
+    store = ResultStore()
+    if action == "clear":
+        removed = store.clear()
+        print(f"cache: removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.describe()}")
+        return 0
+    info = store.info()
+    print(f"cache directory: {info['directory']}")
+    print(f"entries:         {info['entries']}")
+    print(f"size:            {info['bytes'] / (1024 * 1024):.2f} MB")
+    limit = info["max_bytes"]
+    print(
+        "size limit:      "
+        + ("unbounded" if not limit else f"{limit / (1024 * 1024):.2f} MB")
+    )
+    return 0
+
+
+def _make_journal(args) -> Optional[RunJournal]:
+    """The run journal implied by ``--run-id``/``--resume``, validated."""
+    if args.resume and args.run_id and args.resume != args.run_id:
+        raise ReproError(
+            f"--run-id {args.run_id!r} conflicts with --resume {args.resume!r}"
+        )
+    run_id = args.resume or args.run_id
+    if run_id is None:
+        return None
+    if args.no_cache:
+        raise ReproError(
+            "--run-id/--resume need the on-disk cache; drop --no-cache"
+        )
+    journal = RunJournal(resolve_cache_dir(), run_id)
+    if args.resume and not journal.exists():
+        raise ReproError(
+            f"no journal for run {run_id!r} under {journal.describe()}; "
+            "start it with --run-id first"
+        )
+    if not args.resume and journal.exists():
+        raise ReproError(
+            f"run {run_id!r} already has a journal; "
+            f"continue it with --resume {run_id}"
+        )
+    return journal
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "cache":
+        try:
+            return cache_command(args.action)
+        except ReproError as error:
+            return _fail(str(error))
+    if args.action is not None:
+        return _fail(
+            f"unexpected argument {args.action!r} "
+            f"(subactions only apply to 'cache')"
+        )
     if args.experiment == "list":
         for name in experiment_names():
             print(name)
@@ -100,15 +205,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         benchmarks = [name.lower() for name in benchmarks]
         unknown = [name for name in benchmarks if name not in BENCHMARK_NAMES]
         if unknown:
-            print(
-                f"error: unknown benchmarks {unknown}; "
-                f"choose from {BENCHMARK_NAMES}",
-                file=sys.stderr,
+            return _fail(
+                f"unknown benchmarks {unknown}; choose from {BENCHMARK_NAMES}"
             )
-            return 2
     try:
+        journal = _make_journal(args)
         engine = ExecutionEngine(
-            jobs=args.jobs, store=NullStore() if args.no_cache else None
+            jobs=args.jobs,
+            store=NullStore() if args.no_cache else None,
+            journal=journal,
+            resume=args.resume is not None,
         )
         suite = SuiteRunner(scale=args.scale, benchmarks=benchmarks, engine=engine)
         if args.experiment == "all":
@@ -116,8 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             results = [run_experiment(args.experiment, suite)]
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(str(error))
     report = "\n\n\n".join(result.render() for result in results)
     print(report)
     if args.output:
@@ -133,6 +238,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(telemetry.summary(), file=sys.stderr)
     if args.manifest:
         telemetry.write_manifest(args.manifest)
+    if journal is not None:
+        written = journal.write_manifest(telemetry.manifest())
+        if written:
+            print(f"run journal: {journal.describe()}", file=sys.stderr)
     return 0
 
 

@@ -4,8 +4,12 @@ The substrate under every experiment.  Jobs (:mod:`~repro.engine.jobs`)
 name deterministic simulation points; :class:`ExecutionEngine`
 (:mod:`~repro.engine.parallel`) resolves them through a content-addressed
 on-disk cache (:mod:`~repro.engine.store`), a worker-process pool with
-serial fallback (:mod:`~repro.engine.robustness`), and run telemetry
-(:mod:`~repro.engine.telemetry`).
+per-job retry and serial fallback (:mod:`~repro.engine.robustness`,
+:mod:`~repro.engine.retry`), crash-safe run checkpoints
+(:mod:`~repro.engine.checkpoint`), and run telemetry
+(:mod:`~repro.engine.telemetry`).  A deterministic fault-injection
+harness (:mod:`~repro.engine.faults`, off unless ``REPRO_FAULTS`` is
+set) makes every degradation path testable on purpose.
 
 Quickstart::
 
@@ -17,6 +21,17 @@ Quickstart::
     print(engine.telemetry.summary())
 """
 
+from .checkpoint import RUNS_SUBDIR, RunJournal
+from .faults import (
+    CRASH_EXIT_CODE,
+    ENV_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    apply_store_fault,
+    parse_fault_plan,
+)
 from .jobs import (
     SCHEMA_VERSION,
     SOURCE_CACHED,
@@ -28,28 +43,53 @@ from .jobs import (
     execute_job,
 )
 from .parallel import ENV_JOBS, ExecutionEngine, resolve_worker_count
-from .robustness import ENV_JOB_TIMEOUT, attempt_parallel, default_job_timeout
+from .retry import (
+    ENV_RETRIES,
+    ENV_RETRY_DELAY,
+    RetryPolicy,
+    default_retry_policy,
+)
+from .robustness import (
+    ENV_JOB_TIMEOUT,
+    PoolReport,
+    attempt_parallel,
+    default_job_timeout,
+)
 from .store import (
     DEFAULT_CACHE_DIR,
     ENV_CACHE_DIR,
+    ENV_CACHE_MAX_MB,
     NullStore,
     ResultStore,
     resolve_cache_dir,
+    resolve_cache_limit,
 )
 from .telemetry import MANIFEST_VERSION, JobRecord, RunTelemetry, Stopwatch
 
 __all__ = [
+    "CRASH_EXIT_CODE",
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE_DIR",
+    "ENV_CACHE_MAX_MB",
+    "ENV_FAULTS",
     "ENV_JOBS",
     "ENV_JOB_TIMEOUT",
+    "ENV_RETRIES",
+    "ENV_RETRY_DELAY",
     "ExecutionEngine",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "JobOutcome",
     "JobRecord",
     "MANIFEST_VERSION",
     "NullStore",
+    "PoolReport",
     "ResultStore",
+    "RUNS_SUBDIR",
+    "RunJournal",
     "RunTelemetry",
+    "RetryPolicy",
     "SCHEMA_VERSION",
     "SOURCE_CACHED",
     "SOURCE_FALLBACK",
@@ -57,9 +97,14 @@ __all__ = [
     "SOURCE_SERIAL",
     "SimulationJob",
     "Stopwatch",
+    "active_plan",
+    "apply_store_fault",
     "attempt_parallel",
     "default_job_timeout",
+    "default_retry_policy",
     "execute_job",
+    "parse_fault_plan",
     "resolve_cache_dir",
+    "resolve_cache_limit",
     "resolve_worker_count",
 ]

@@ -1,0 +1,130 @@
+"""Crash-safe run checkpoints: the journal behind ``--resume``.
+
+A resumable run owns a directory under ``<cache_dir>/runs/<run_id>/``
+holding two artefacts:
+
+* ``journal.jsonl`` — one JSON line per completed job, appended and
+  fsynced the moment the job's result lands in the cache.  Appends are
+  tiny, so a crash can at worst leave one torn trailing line, which the
+  loader skips; every fully-written line survives.
+* ``manifest.json`` — the run telemetry manifest, written atomically
+  (temp file + rename) when the run finishes.
+
+Resuming (``--resume <run_id>``) replays nothing: the journal tells the
+engine which job keys the interrupted run already finished, and the
+content-addressed result cache supplies their payloads, so only the
+remainder is simulated.  If a journaled entry's cache payload has gone
+missing or corrupt in the meantime, the job is transparently recomputed
+— the journal is a progress record, never a source of results — which
+is what keeps a resumed report byte-identical to a single-shot one.
+
+Journal I/O failures (read-only disk, quota) are swallowed: a run that
+cannot checkpoint still completes, it just cannot be resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+from ..errors import EngineError
+
+#: Subdirectory of the cache dir holding one directory per run id.
+RUNS_SUBDIR = "runs"
+
+_RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class RunJournal:
+    """Append-only record of one run's completed job keys."""
+
+    def __init__(self, cache_dir: os.PathLike, run_id: str) -> None:
+        if not _RUN_ID_PATTERN.match(run_id or ""):
+            raise EngineError(
+                f"run id {run_id!r} must be letters, digits, '.', '_' or '-' "
+                "(and start with a letter or digit)"
+            )
+        self.run_id = run_id
+        self.directory = Path(cache_dir) / RUNS_SUBDIR / run_id
+        self.path = self.directory / "journal.jsonl"
+        self.manifest_path = self.directory / "manifest.json"
+        self._recorded: Set[str] = set()
+
+    def exists(self) -> bool:
+        """Whether this run already has a journal on disk."""
+        return self.path.exists()
+
+    def load(self) -> Set[str]:
+        """Job keys the journal records as completed.
+
+        Tolerates a torn trailing line from a crash mid-append: any line
+        that does not parse as JSON is skipped, everything before it is
+        kept.
+        """
+        keys: Set[str] = set()
+        try:
+            text = self.path.read_bytes().decode("utf-8", errors="replace")
+        except OSError:
+            return keys
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn write from the crash that ended the run
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if key:
+                keys.add(key)
+        self._recorded |= keys
+        return set(keys)
+
+    def record(self, job) -> None:
+        """Durably append one completed job (idempotent per key)."""
+        key = job.key()
+        if key in self._recorded:
+            return
+        line = (
+            json.dumps({"key": key, "job": job.describe()}, sort_keys=True)
+            + "\n"
+        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            return  # a broken journal must never break the run
+        self._recorded.add(key)
+
+    def write_manifest(self, manifest: Dict) -> Optional[str]:
+        """Atomically write the run manifest; returns its path or None."""
+        payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=".manifest-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, self.manifest_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None
+        return str(self.manifest_path)
+
+    def describe(self) -> str:
+        """Location string for telemetry output."""
+        return str(self.directory)

@@ -76,17 +76,23 @@ class SimulationJob:
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """One job's result plus how and how fast it was obtained."""
+    """One job's result plus how, how fast, and in how many tries."""
 
     job: SimulationJob
     annotated: AnnotatedSimulationResult
     source: str
     wall_seconds: float
+    attempts: int = 1  #: Total execution attempts (1 = no retries needed).
 
     @property
     def simulated(self) -> bool:
         """Whether this outcome ran a simulation (vs. a cache hit)."""
         return self.source != SOURCE_CACHED
+
+    @property
+    def retried(self) -> bool:
+        """Whether obtaining this result took more than one attempt."""
+        return self.attempts > 1
 
 
 def execute_job(job: SimulationJob) -> AnnotatedSimulationResult:

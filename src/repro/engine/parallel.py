@@ -7,24 +7,31 @@ uses to obtain simulation results.  For every requested job it
    (content-addressed by job parameters — a warm cache run performs zero
    simulations);
 2. fans the misses out over a ``ProcessPoolExecutor`` sized by
-   ``--jobs`` / ``REPRO_JOBS`` / ``os.cpu_count()``, falling back to
-   serial in-process execution whenever the pool misbehaves
-   (:mod:`~repro.engine.robustness`);
-3. writes fresh results back to the store and records everything in a
+   ``--jobs`` / ``REPRO_JOBS`` / ``os.cpu_count()``, where each failed
+   or timed-out job is retried by itself with deterministic backoff
+   (:mod:`~repro.engine.robustness`, :mod:`~repro.engine.retry`) before
+   anything falls back to serial in-process execution;
+3. writes fresh results back to the store, journals them in the run
+   checkpoint when one is attached (:mod:`~repro.engine.checkpoint`),
+   and records everything — outcomes, retries, injected faults,
+   degradation notes — in a
    :class:`~repro.engine.telemetry.RunTelemetry`.
 
-Because :func:`~repro.engine.jobs.execute_job` is deterministic, serial
-and parallel execution produce bit-identical results; the engine only
-changes *when* and *where* simulations run, never what they compute.
+Because :func:`~repro.engine.jobs.execute_job` is deterministic, serial,
+parallel, retried, resumed, and fault-injected runs all produce
+bit-identical results; the engine only changes *when* and *where*
+simulations run, never what they compute.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
+from .checkpoint import RunJournal
+from .faults import FaultPlan, active_plan, apply_store_fault
 from .jobs import (
     SOURCE_CACHED,
     SOURCE_FALLBACK,
@@ -34,6 +41,7 @@ from .jobs import (
     SimulationJob,
     execute_job,
 )
+from .retry import RetryPolicy, default_retry_policy
 from .robustness import attempt_parallel, default_job_timeout
 from .store import ResultStore
 from .telemetry import RunTelemetry, Stopwatch
@@ -43,7 +51,12 @@ ENV_JOBS = "REPRO_JOBS"
 
 
 def resolve_worker_count(value: Optional[int] = None) -> int:
-    """Worker count from the argument, ``REPRO_JOBS``, or the CPU count."""
+    """Worker count from the argument, ``REPRO_JOBS``, or the CPU count.
+
+    ``REPRO_JOBS`` is validated like the other engine environment knobs:
+    a non-integer or non-positive value raises a clear
+    :class:`~repro.errors.EngineError` naming the variable.
+    """
     if value is None:
         raw = os.environ.get(ENV_JOBS)
         if raw:
@@ -51,8 +64,12 @@ def resolve_worker_count(value: Optional[int] = None) -> int:
                 value = int(raw)
             except ValueError:
                 raise EngineError(
-                    f"{ENV_JOBS} must be an integer, got {raw!r}"
+                    f"{ENV_JOBS} must be an integer worker count, got {raw!r}"
                 ) from None
+            if value < 1:
+                raise EngineError(
+                    f"{ENV_JOBS} must be positive, got {value!r}"
+                )
     if value is None:
         value = os.cpu_count() or 1
     value = int(value)
@@ -70,16 +87,34 @@ class ExecutionEngine:
         store: Optional[object] = None,
         timeout: Optional[float] = None,
         telemetry: Optional[RunTelemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        journal: Optional[RunJournal] = None,
+        resume: bool = False,
     ) -> None:
         self.max_workers = resolve_worker_count(jobs)
         self.store = store if store is not None else ResultStore()
         self.timeout = timeout if timeout is not None else default_job_timeout()
         self.telemetry = telemetry if telemetry is not None else RunTelemetry()
+        self.retry = retry if retry is not None else default_retry_policy()
+        self.faults = faults if faults is not None else active_plan()
+        self.journal = journal
+        self._journaled: set = set()
+        if journal is not None and resume:
+            self._journaled = journal.load()
+            self.telemetry.note(
+                f"resuming run {journal.run_id!r}: "
+                f"{len(self._journaled)} job(s) already journaled"
+            )
         self.telemetry.context.update(
             {
                 "max_workers": self.max_workers,
                 "cache_dir": self.store.describe(),
                 "timeout_seconds": self.timeout,
+                "retry": self.retry.describe(),
+                "faults": None if self.faults is None else self.faults.describe(),
+                "run_id": None if journal is None else journal.run_id,
+                "resumed": bool(journal is not None and resume),
             }
         )
 
@@ -92,7 +127,9 @@ class ExecutionEngine:
         """Obtain every job's result; cache first, then parallel, then serial.
 
         Results are keyed by job and independent of execution order, so
-        callers see identical outputs whatever path produced them.
+        callers see identical outputs whatever path produced them —
+        including runs that retried, resumed, or survived injected
+        faults.
         """
         ordered = self._deduplicate(jobs)
         run_start = time.perf_counter()
@@ -104,7 +141,15 @@ class ExecutionEngine:
                 hit = self.store.get(job.key())
             if hit is not None:
                 outcomes[job] = JobOutcome(job, hit, SOURCE_CACHED, sw.seconds)
+                self._journal_record(job)
             else:
+                if job.key() in self._journaled:
+                    # The interrupted run finished this job but its cache
+                    # entry is gone or corrupt: recompute transparently.
+                    self.telemetry.note(
+                        f"resume: journaled job {job.describe()} is missing "
+                        "from the cache; recomputing"
+                    )
                 pending.append(job)
 
         if pending:
@@ -138,25 +183,89 @@ class ExecutionEngine:
         outcomes: Dict[SimulationJob, JobOutcome],
     ) -> None:
         pool_attempted = self.max_workers > 1 and len(pending) > 1
+        pool_attempts: Dict[SimulationJob, int] = {}
         if pool_attempted:
-            completed, leftovers, notes = attempt_parallel(
-                pending, self.max_workers, self.timeout
+            report = attempt_parallel(
+                pending, self.max_workers, self.timeout, policy=self.retry
             )
-            for note in notes:
+            for note in report.notes:
                 self.telemetry.note(note)
-            for job, (annotated, wall) in completed.items():
-                outcomes[job] = JobOutcome(job, annotated, SOURCE_PARALLEL, wall)
-                self.store.put(job.key(), annotated)
+            for entry in report.retries:
+                self.telemetry.record_retry(entry)
+            for job, (annotated, wall) in report.completed.items():
+                outcomes[job] = JobOutcome(
+                    job,
+                    annotated,
+                    SOURCE_PARALLEL,
+                    wall,
+                    attempts=report.attempts.get(job, 1),
+                )
+                self._commit(job, annotated)
+            leftovers = report.leftovers
+            pool_attempts = report.attempts
         else:
             leftovers = pending
 
         source = SOURCE_FALLBACK if pool_attempted else SOURCE_SERIAL
         for job in leftovers:
+            annotated, seconds, attempts = self._execute_serial(job)
+            outcomes[job] = JobOutcome(
+                job,
+                annotated,
+                source,
+                seconds,
+                attempts=pool_attempts.get(job, 0) + attempts,
+            )
+            self._commit(job, annotated)
+
+    def _execute_serial(
+        self, job: SimulationJob
+    ) -> Tuple[object, float, int]:
+        """One job in-process, retried per the policy; raises when exhausted."""
+        attempt = 0
+        while True:
+            attempt += 1
             try:
+                if self.faults is not None:
+                    self.faults.inject_serial(job, attempt)
                 with Stopwatch() as sw:
                     annotated = execute_job(job)
+                return annotated, sw.seconds, attempt
             except Exception as error:
+                if self.retry.retries_left(attempt):
+                    delay = self.retry.delay_before(attempt + 1)
+                    self.telemetry.record_retry(
+                        {
+                            "job": job.describe(),
+                            "key": job.key(),
+                            "failed_attempt": attempt,
+                            "next_attempt": attempt + 1,
+                            "reason": f"{type(error).__name__}: {error}",
+                            "backoff_seconds": delay,
+                            "where": "serial",
+                        }
+                    )
+                    self.telemetry.note(
+                        f"job {job.describe()} failed serially "
+                        f"({type(error).__name__}); retrying "
+                        f"(attempt {attempt + 1}/{self.retry.max_attempts}) "
+                        f"in {delay:g}s"
+                    )
+                    time.sleep(delay)
+                    continue
                 self.telemetry.record_failure(job, error)
                 raise
-            outcomes[job] = JobOutcome(job, annotated, source, sw.seconds)
-            self.store.put(job.key(), annotated)
+
+    def _commit(self, job: SimulationJob, annotated: object) -> None:
+        """Persist one fresh result: cache write, fault hooks, journal."""
+        wrote = self.store.put(job.key(), annotated)
+        if wrote and self.faults is not None:
+            for spec in self.faults.take_store_faults(job):
+                description = apply_store_fault(self.store, job.key(), spec)
+                if description:
+                    self.telemetry.record_fault(description)
+        self._journal_record(job)
+
+    def _journal_record(self, job: SimulationJob) -> None:
+        if self.journal is not None:
+            self.journal.record(job)

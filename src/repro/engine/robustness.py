@@ -1,38 +1,55 @@
-"""Fault tolerance for the parallel path.
+"""Fault tolerance for the parallel path: a retrying pool supervisor.
 
 The engine must never be *less* reliable than the serial code it
-replaced, so every parallel-infrastructure failure degrades to in-process
-serial execution instead of propagating:
+replaced, so parallel-infrastructure failures are contained at the
+smallest possible scope and everything that remains degrades to
+in-process serial execution instead of propagating:
 
 * the worker pool cannot start (sandboxed environment, fork limits,
   missing ``/dev/shm``) — every job runs serially;
-* a worker process dies (``BrokenProcessPool``) — the pool is abandoned
-  and the unfinished jobs run serially;
-* a job exceeds the per-job timeout — the pool is abandoned (its workers
-  cannot be force-killed portably, so waiting longer is the only thing
-  abandoning avoids) and the unfinished jobs run serially;
-* a job *raises* inside a worker — it is retried serially so a genuine
-  simulation error surfaces with a clean in-process traceback.
+* a job exceeds the per-job timeout — **only that job** is requeued
+  with deterministic backoff (:class:`~repro.engine.retry.RetryPolicy`);
+  the stuck worker's slot is written off (workers cannot be force-killed
+  portably) but the rest of the pool keeps running.  Should the stuck
+  worker finish late anyway, its slot — and even its result — are
+  reclaimed;
+* a job *raises* inside a worker — it is requeued with backoff; once
+  its attempts are exhausted it falls to the serial path, where a final
+  in-process attempt surfaces a genuine error with a clean traceback;
+* a worker process dies (``BrokenProcessPool``) — the pool itself is
+  broken, so after harvesting every future that already finished the
+  remaining jobs run serially;
+* every worker slot ends up stuck on timed-out jobs — the pool can make
+  no progress, so it is abandoned and the remainder runs serially.
 
-Simulation is deterministic in the job parameters, so a serial retry is
-always equivalent — robustness never changes results, only where and
-when they are computed.
+Simulation is deterministic in the job parameters and backoff delays
+are jitter-free, so a retried or serially-finished run is always
+equivalent — robustness never changes results, only where and when they
+are computed.  Every requeue is reported as a structured retry record
+plus a human-readable note so the manifest shows exactly what happened.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
+from .faults import active_plan
 from .jobs import SimulationJob, execute_job
+from .retry import RetryPolicy, default_retry_policy
 
 #: Environment variable supplying a default per-job timeout in seconds.
 ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
+
+#: How often the supervisor re-checks stuck workers for late results.
+_ZOMBIE_POLL_SECONDS = 0.1
 
 
 def default_job_timeout() -> Optional[float]:
@@ -53,11 +70,39 @@ def default_job_timeout() -> Optional[float]:
     return value
 
 
-def _worker(job: SimulationJob):
-    """Pool worker: simulate one job and time it (module-level: picklable)."""
+def _worker(job: SimulationJob, attempt: int = 1):
+    """Pool worker: simulate one job and time it (module-level: picklable).
+
+    Fault injection reads ``REPRO_FAULTS`` from the environment the
+    worker inherited, so injected crashes/timeouts/raises happen inside
+    the worker exactly as real ones would.
+    """
+    plan = active_plan()
+    if plan is not None:
+        plan.inject_worker(job, attempt)
     start = time.perf_counter()
     annotated = execute_job(job)
     return annotated, time.perf_counter() - start
+
+
+@dataclass
+class PoolReport:
+    """Everything one :func:`attempt_parallel` call did and left behind.
+
+    ``completed[job]`` is an ``(annotated_result, worker_wall_seconds)``
+    pair; ``leftovers`` must be run serially by the caller; ``attempts``
+    counts pool attempts per job (so the serial path can report a total);
+    ``retries`` are structured records for telemetry and ``notes`` are
+    the matching human-readable degradation messages.
+    """
+
+    completed: Dict[SimulationJob, Tuple[object, float]] = field(
+        default_factory=dict
+    )
+    leftovers: List[SimulationJob] = field(default_factory=list)
+    attempts: Dict[SimulationJob, int] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    retries: List[Dict] = field(default_factory=list)
 
 
 def attempt_parallel(
@@ -65,54 +110,188 @@ def attempt_parallel(
     max_workers: int,
     timeout: Optional[float] = None,
     worker: Callable = _worker,
-) -> Tuple[Dict[SimulationJob, Tuple[object, float]], List[SimulationJob], List[str]]:
-    """Run jobs on a process pool, surviving every pool failure.
+    policy: Optional[RetryPolicy] = None,
+) -> PoolReport:
+    """Run jobs on a process pool, retrying per job and surviving the pool.
 
-    Returns ``(completed, leftovers, notes)``: results that the pool
-    delivered, jobs the caller must run serially, and human-readable notes
-    describing any degradation.  ``completed[job]`` is an
-    ``(annotated_result, worker_wall_seconds)`` pair.
+    A failed or timed-out job is requeued by itself (deterministic
+    exponential backoff, ``policy.max_attempts`` total tries); the pool
+    is only given up when it breaks (a worker died), when every slot is
+    stuck on a timed-out job, or when nothing retryable remains.  On the
+    way out every future that already finished is harvested so no
+    completed work is re-simulated serially.
     """
-    completed: Dict[SimulationJob, Tuple[object, float]] = {}
-    notes: List[str] = []
+    policy = policy if policy is not None else default_retry_policy()
+    report = PoolReport()
+    pool_size = min(max_workers, len(jobs))
     try:
-        executor = ProcessPoolExecutor(max_workers=min(max_workers, len(jobs)))
+        executor = ProcessPoolExecutor(max_workers=pool_size)
     except (OSError, ValueError, PermissionError) as error:
-        notes.append(f"worker pool failed to start ({error}); running serially")
-        return completed, list(jobs), notes
+        report.notes.append(
+            f"worker pool failed to start ({error}); running serially"
+        )
+        report.leftovers = list(jobs)
+        return report
+
+    ready = deque((job, 1) for job in jobs)
+    delayed: List[Tuple[float, int, SimulationJob, int]] = []  # backoff heap
+    sequence = 0
+    in_flight: Dict[object, Tuple[SimulationJob, int, Optional[float]]] = {}
+    zombies: Dict[object, SimulationJob] = {}  # timed-out but still running
+    broken = False
+
+    def record_retry(job: SimulationJob, attempt: int, reason: str, delay: float):
+        report.retries.append(
+            {
+                "job": job.describe(),
+                "key": job.key(),
+                "failed_attempt": attempt,
+                "next_attempt": attempt + 1,
+                "reason": reason,
+                "backoff_seconds": delay,
+                "where": "pool",
+            }
+        )
+
+    def requeue(job: SimulationJob, attempt: int, reason: str, what: str) -> None:
+        nonlocal sequence
+        if policy.retries_left(attempt):
+            delay = policy.delay_before(attempt + 1)
+            sequence += 1
+            heapq.heappush(
+                delayed, (time.monotonic() + delay, sequence, job, attempt + 1)
+            )
+            record_retry(job, attempt, reason, delay)
+            report.notes.append(
+                f"job {job.describe()} {what}; retrying "
+                f"(attempt {attempt + 1}/{policy.max_attempts}) in {delay:g}s"
+            )
+        else:
+            report.notes.append(
+                f"job {job.describe()} {what}; retries exhausted after "
+                f"{attempt} attempt(s), finishing serially"
+            )
+
     try:
-        try:
-            futures = [(executor.submit(worker, job), job) for job in jobs]
-        except BrokenProcessPool as error:
-            notes.append(f"worker pool broke on submit ({error}); running serially")
-            return completed, list(jobs), notes
-        abandoned = False
-        for future, job in futures:
-            if abandoned:
+        while ready or delayed or in_flight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, _, job, attempt = heapq.heappop(delayed)
+                ready.append((job, attempt))
+            # A stuck worker that finished after its timeout was declared
+            # frees its slot — and its result is still perfectly good.
+            for future in [f for f in zombies if f.done()]:
+                job = zombies.pop(future)
+                try:
+                    annotated, wall = future.result()
+                except Exception:
+                    continue  # its retry is already scheduled
+                if job not in report.completed:
+                    report.completed[job] = (annotated, wall)
+                    report.notes.append(
+                        f"job {job.describe()} finished after its timeout; "
+                        "late result harvested"
+                    )
+            free = pool_size - len(in_flight) - len(zombies)
+            while ready and free > 0:
+                job, attempt = ready.popleft()
+                if job in report.completed:
+                    continue  # a late zombie result beat the retry to it
+                try:
+                    future = executor.submit(worker, job, attempt)
+                except BrokenProcessPool as error:
+                    report.notes.append(
+                        f"worker pool broke on submit ({error}); "
+                        "finishing serially"
+                    )
+                    broken = True
+                    break
+                report.attempts[job] = max(attempt, report.attempts.get(job, 0))
+                deadline = now + timeout if timeout is not None else None
+                in_flight[future] = (job, attempt, deadline)
+                free -= 1
+            if broken:
+                break
+            if not in_flight:
+                if delayed:  # only backoff waits remain: sleep them out
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                if ready and free <= 0:
+                    report.notes.append(
+                        f"all {pool_size} worker slot(s) are stuck on "
+                        "timed-out jobs; abandoning the pool and finishing "
+                        "serially"
+                    )
+                    break
+                if not ready:
+                    break
                 continue
-            try:
-                annotated, wall = future.result(timeout=timeout)
-                completed[job] = (annotated, wall)
-            except FutureTimeoutError:
-                notes.append(
-                    f"job {job.describe()} exceeded the {timeout:g}s timeout; "
-                    "abandoning the pool and finishing serially"
-                )
-                abandoned = True
-            except BrokenProcessPool:
-                notes.append(
-                    "a worker process died; abandoning the pool and "
-                    "finishing serially"
-                )
-                abandoned = True
-            except Exception as error:
-                # The job itself raised: retry serially for a clean,
-                # in-process traceback (and to rule out pool flakiness).
-                notes.append(
-                    f"job {job.describe()} raised in a worker "
-                    f"({type(error).__name__}); retrying serially"
+            horizon = [
+                deadline
+                for (_, _, deadline) in in_flight.values()
+                if deadline is not None
+            ]
+            if delayed:
+                horizon.append(delayed[0][0])
+            if zombies:
+                horizon.append(time.monotonic() + _ZOMBIE_POLL_SECONDS)
+            wait_timeout = (
+                max(0.0, min(horizon) - time.monotonic()) if horizon else None
+            )
+            done, _ = wait(
+                list(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                job, attempt, _ = in_flight.pop(future)
+                try:
+                    annotated, wall = future.result()
+                except BrokenProcessPool:
+                    report.notes.append(
+                        "a worker process died; harvesting finished results "
+                        "and finishing serially"
+                    )
+                    broken = True
+                    continue
+                except Exception as error:
+                    requeue(
+                        job,
+                        attempt,
+                        f"{type(error).__name__}: {error}",
+                        f"raised in a worker ({type(error).__name__})",
+                    )
+                    continue
+                if job not in report.completed:
+                    report.completed[job] = (annotated, wall)
+            if broken:
+                break
+            now = time.monotonic()
+            for future in [
+                f
+                for f, (_, _, deadline) in in_flight.items()
+                if deadline is not None and deadline <= now
+            ]:
+                job, attempt, _ = in_flight.pop(future)
+                if not future.cancel():
+                    # Already running: the slot is burned until the worker
+                    # returns on its own (it cannot be killed portably).
+                    zombies[future] = job
+                requeue(
+                    job,
+                    attempt,
+                    f"timeout after {timeout:g}s",
+                    f"exceeded the {timeout:g}s timeout",
                 )
     finally:
+        # Harvest completed-but-unread futures before walking away so no
+        # finished work is thrown out and re-simulated serially.
+        for future, (job, _, _) in list(in_flight.items()):
+            if future.done():
+                try:
+                    annotated, wall = future.result()
+                except Exception:
+                    continue
+                if job not in report.completed:
+                    report.completed[job] = (annotated, wall)
         executor.shutdown(wait=False, cancel_futures=True)
-    leftovers = [job for job in jobs if job not in completed]
-    return completed, leftovers, notes
+    report.leftovers = [job for job in jobs if job not in report.completed]
+    return report

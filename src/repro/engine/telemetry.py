@@ -21,8 +21,9 @@ from typing import Dict, List, Optional
 from .jobs import SOURCE_CACHED, JobOutcome
 
 #: Version of the manifest JSON layout, independent of the result cache's
-#: payload schema version.
-MANIFEST_VERSION = 1
+#: payload schema version.  Version 2 added per-job attempts plus the
+#: ``retries`` and ``faults`` sections.
+MANIFEST_VERSION = 2
 
 
 class Stopwatch:
@@ -52,6 +53,7 @@ class JobRecord:
     wall_seconds: float
     instructions: int
     cycles: int
+    attempts: int = 1
 
     @property
     def instructions_per_second(self) -> float:
@@ -67,6 +69,8 @@ class RunTelemetry:
 
     records: List[JobRecord] = field(default_factory=list)
     failures: List[Dict] = field(default_factory=list)
+    retries: List[Dict] = field(default_factory=list)
+    faults: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
     context: Dict = field(default_factory=dict)
@@ -86,6 +90,7 @@ class RunTelemetry:
                 wall_seconds=outcome.wall_seconds,
                 instructions=int(result.instructions),
                 cycles=int(result.cycles),
+                attempts=outcome.attempts,
             )
         )
 
@@ -99,6 +104,14 @@ class RunTelemetry:
                 "error": f"{type(error).__name__}: {error}",
             }
         )
+
+    def record_retry(self, entry: Dict) -> None:
+        """Add one structured retry record (see ``PoolReport.retries``)."""
+        self.retries.append(dict(entry))
+
+    def record_fault(self, description: str) -> None:
+        """Add one injected-fault record (engine-side injections)."""
+        self.faults.append(description)
 
     def note(self, message: str) -> None:
         """Attach a free-form robustness note (pool fallbacks, evictions)."""
@@ -132,6 +145,11 @@ class RunTelemetry:
         return sum(1 for r in self.records if r.source == "serial-fallback")
 
     @property
+    def retried(self) -> int:
+        """Jobs whose result took more than one attempt."""
+        return sum(1 for r in self.records if r.attempts > 1)
+
+    @property
     def instructions(self) -> int:
         """Instructions delivered across all jobs, cached ones included."""
         return sum(r.instructions for r in self.records)
@@ -161,6 +179,9 @@ class RunTelemetry:
                 "simulated": self.simulated,
                 "failed": self.failed,
                 "serial_fallbacks": self.serial_fallbacks,
+                "retries": len(self.retries),
+                "retried_jobs": self.retried,
+                "faults_injected": len(self.faults),
                 "wall_seconds": self.wall_seconds,
                 "instructions": self.instructions,
                 "simulated_instructions": self.simulated_instructions,
@@ -175,11 +196,14 @@ class RunTelemetry:
                     "wall_seconds": r.wall_seconds,
                     "instructions": r.instructions,
                     "cycles": r.cycles,
+                    "attempts": r.attempts,
                     "instructions_per_second": r.instructions_per_second,
                 }
                 for r in self.records
             ],
             "failures": list(self.failures),
+            "retries": [dict(r) for r in self.retries],
+            "faults": list(self.faults),
             "notes": list(self.notes),
         }
 
@@ -210,6 +234,10 @@ class RunTelemetry:
             parts.append(f"| {mi:.2f}M instructions at {self.throughput:,.0f} inst/s")
         if self.serial_fallbacks:
             parts.append(f"| {self.serial_fallbacks} serial fallback(s)")
+        if self.retries:
+            parts.append(f"| {len(self.retries)} retr{'y' if len(self.retries) == 1 else 'ies'}")
+        if self.faults:
+            parts.append(f"| {len(self.faults)} fault(s) injected")
         cache_dir = self.context.get("cache_dir")
         if cache_dir:
             parts.append(f"| cache: {cache_dir}")

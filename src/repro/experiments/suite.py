@@ -7,7 +7,11 @@ simulation goes through :class:`~repro.engine.parallel.ExecutionEngine`:
 results come from the on-disk cache when available, misses fan out over
 worker processes, and a per-instance in-memory layer preserves the old
 guarantee that one ``SuiteRunner`` simulates each benchmark exactly once
-and always returns the same objects.
+and always returns the same objects.  Jobs are submitted in suite order,
+so a checkpointed run journals benchmarks deterministically and a
+``--resume`` continues exactly where the previous run stopped; retries,
+serial fallbacks, and injected faults inside the engine never change
+what a ``BenchmarkRun`` contains, only how long it took to obtain.
 """
 
 from __future__ import annotations
@@ -76,6 +80,11 @@ class SuiteRunner:
         if self._engine is None:
             self._engine = ExecutionEngine()
         return self._engine
+
+    @property
+    def telemetry(self):
+        """The engine's run telemetry (retries, faults, notes included)."""
+        return self.engine.telemetry
 
     def _job(self, name: str) -> SimulationJob:
         return SimulationJob(name, scale=self.scale, pipeline=self.pipeline)

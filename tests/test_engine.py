@@ -15,6 +15,7 @@ from repro.engine import (
     ExecutionEngine,
     NullStore,
     ResultStore,
+    RetryPolicy,
     RunTelemetry,
     SimulationJob,
     attempt_parallel,
@@ -191,41 +192,58 @@ class TestEngineCaching:
         assert engine.telemetry.simulated == 2
 
 
-def _slow_worker(job):
+def _slow_worker(job, attempt=1):
     # Long enough to trip a 0.2s timeout, short enough that the orphaned
     # workers (the pool cannot kill them) don't delay interpreter exit.
     time.sleep(2)
     return None, 0.0  # pragma: no cover
 
 
-def _crashing_worker(job):
+def _crashing_worker(job, attempt=1):
     raise ValueError("boom")
 
 
 class TestRobustness:
-    def test_timeout_abandons_pool(self):
+    def test_timeout_exhausts_retries_then_leaves_serial_work(self):
         jobs = small_jobs()
-        completed, leftovers, notes = attempt_parallel(
-            jobs, max_workers=2, timeout=0.2, worker=_slow_worker
+        report = attempt_parallel(
+            jobs,
+            max_workers=2,
+            timeout=0.2,
+            worker=_slow_worker,
+            policy=RetryPolicy(max_attempts=1),
         )
-        assert completed == {}
-        assert leftovers == jobs
-        assert any("timeout" in note for note in notes)
+        assert report.completed == {}
+        assert report.leftovers == jobs
+        assert any("timeout" in note for note in report.notes)
 
-    def test_worker_exception_retried_serially(self):
+    def test_worker_exception_retried_then_left_for_serial(self):
         jobs = small_jobs()
-        completed, leftovers, notes = attempt_parallel(
-            jobs, max_workers=2, timeout=None, worker=_crashing_worker
+        report = attempt_parallel(
+            jobs,
+            max_workers=2,
+            timeout=None,
+            worker=_crashing_worker,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.0),
         )
-        assert completed == {}
-        assert set(leftovers) == set(jobs)
-        assert any("raised in a worker" in note for note in notes)
+        assert report.completed == {}
+        assert set(report.leftovers) == set(jobs)
+        assert any("raised in a worker" in note for note in report.notes)
+        assert any("retries exhausted" in note for note in report.notes)
+        # One retry per job was attempted before giving up.
+        assert len(report.retries) == len(jobs)
+        assert all(r["where"] == "pool" for r in report.retries)
+        assert all(report.attempts[job] == 2 for job in jobs)
 
     def test_pool_failure_falls_back_to_serial(self, monkeypatch):
         import repro.engine.parallel as parallel_module
+        from repro.engine import PoolReport
 
-        def broken_pool(jobs, max_workers, timeout, worker=None):
-            return {}, list(jobs), ["worker pool failed to start (test)"]
+        def broken_pool(jobs, max_workers, timeout, worker=None, policy=None):
+            return PoolReport(
+                leftovers=list(jobs),
+                notes=["worker pool failed to start (test)"],
+            )
 
         monkeypatch.setattr(parallel_module, "attempt_parallel", broken_pool)
         engine = ExecutionEngine(jobs=2, store=NullStore())
@@ -264,8 +282,14 @@ class TestWorkerCount:
         with pytest.raises(EngineError):
             resolve_worker_count(0)
         monkeypatch.setenv("REPRO_JOBS", "many")
-        with pytest.raises(EngineError):
+        with pytest.raises(EngineError, match="REPRO_JOBS"):
             resolve_worker_count()
+
+    def test_env_validation_names_the_variable(self, monkeypatch):
+        for raw in ("0", "-3", "2.5", "all"):
+            monkeypatch.setenv("REPRO_JOBS", raw)
+            with pytest.raises(EngineError, match="REPRO_JOBS"):
+                resolve_worker_count()
 
 
 class TestTelemetry:
@@ -275,7 +299,9 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 1
+        assert manifest["manifest_version"] == 2
+        assert manifest["retries"] == []
+        assert manifest["faults"] == []
         totals = manifest["totals"]
         for field in (
             "jobs",
@@ -283,6 +309,9 @@ class TestTelemetry:
             "simulated",
             "failed",
             "serial_fallbacks",
+            "retries",
+            "retried_jobs",
+            "faults_injected",
             "wall_seconds",
             "instructions",
             "simulated_instructions",
@@ -297,6 +326,7 @@ class TestTelemetry:
             assert row["source"] == SOURCE_CACHED
             assert len(row["key"]) == 64
             assert row["instructions"] > 0 and row["cycles"] > 0
+            assert row["attempts"] == 1
 
     def test_summary_reports_counts(self, warm_store):
         directory, _ = warm_store
