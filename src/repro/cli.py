@@ -1,14 +1,20 @@
 """Command-line interface: ``repro-leakage`` / ``python -m repro``.
 
-Regenerates any of the paper's tables and figures::
+Three subcommands::
+
+    repro-leakage run <experiment> [...]   # tables/figures (the default)
+    repro-leakage cache {info,clear}       # result-cache maintenance
+    repro-leakage sweep {plan,run,status,merge}  # sharded parameter sweeps
+
+The historical flat forms keep working — a bare experiment name implies
+``run``::
 
     repro-leakage list
     repro-leakage table1
     repro-leakage figure8 --scale 0.5
     repro-leakage all --scale 0.5 --output results.txt
-    repro-leakage cache info
-    repro-leakage all --run-id sweep-1      # checkpointed, resumable
-    repro-leakage all --resume sweep-1      # continue after a crash
+    repro-leakage all --run-id nightly      # checkpointed, resumable
+    repro-leakage all --resume nightly      # continue after a crash
 
 Simulations go through the execution engine: benchmark jobs fan out over
 worker processes (``--jobs`` / ``REPRO_JOBS``), failed or timed-out jobs
@@ -17,11 +23,19 @@ are retried per job with deterministic backoff (``REPRO_RETRIES`` /
 ``~/.cache/repro-leakage`` (``REPRO_CACHE_DIR`` overrides,
 ``REPRO_CACHE_MAX_MB`` bounds the size, ``--no-cache`` bypasses), and a
 telemetry footer — exportable as JSON via ``--manifest`` — reports where
-the time went, including every retry and degradation.  A run started
-with ``--run-id`` journals each completed job, so after a crash
-``--resume`` picks up where it died.  The report on stdout is
-byte-identical whatever the worker count, cache state, fault history or
-resume path; telemetry goes to stderr.
+the time went, including every retry and degradation.  The report on
+stdout is byte-identical whatever the worker count, cache state, fault
+history, resume path or shard split; telemetry goes to stderr.
+
+A sweep expands a declarative spec (benchmarks × scales × pipelines ×
+technology nodes) into engine jobs, optionally sharded across hosts
+(``--shard-index/--shard-count`` against a shared cache directory), and
+``sweep merge`` folds every shard's journal into one report::
+
+    repro-leakage sweep plan --spec scaling.json --shard-count 4
+    repro-leakage sweep run --spec scaling.json --shard-index 0 --shard-count 4
+    repro-leakage sweep status --spec scaling.json
+    repro-leakage sweep merge --spec scaling.json --csv out/
 """
 
 from __future__ import annotations
@@ -35,95 +49,275 @@ from .engine import (
     NullStore,
     ResultStore,
     RunJournal,
+    collect_sharing_stats,
     resolve_cache_dir,
 )
 from .errors import ReproError
 from .experiments.runner import experiment_names, run_all, run_experiment
 from .experiments.suite import SuiteRunner
+from .sweep import (
+    ShardAssignment,
+    SweepSpec,
+    merge as sweep_merge,
+    plan_text,
+    run_shard,
+    shard_run_summary,
+    status_text,
+)
 from .workloads.benchmarks import BENCHMARK_NAMES
 
-#: Valid subactions of the ``cache`` maintenance command.
-CACHE_ACTIONS = ("info", "clear")
+#: Top-level subcommands; anything else on the command line is treated
+#: as an experiment name and routed to ``run`` (historical flat form).
+COMMANDS = ("run", "cache", "sweep")
+
+
+class _BackCompatParser(argparse.ArgumentParser):
+    """Argument parser that keeps the historical flat CLI working.
+
+    ``repro-leakage table1 --scale 0.5`` predates the subcommands; when
+    the first positional token is not a known command, ``run`` is
+    inserted so old invocations, scripts and muscle memory stay valid.
+    """
+
+    def parse_args(self, args=None, namespace=None):  # type: ignore[override]
+        argv = list(sys.argv[1:] if args is None else args)
+        return super().parse_args(_normalize_argv(argv), namespace)
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    for token in argv:
+        if token.startswith("-"):
+            continue
+        if token in COMMANDS:
+            return argv
+        return ["run"] + argv
+    return argv
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
-    parser = argparse.ArgumentParser(
+    """The CLI argument parser (``run`` / ``cache`` / ``sweep``)."""
+    parser = _BackCompatParser(
         prog="repro-leakage",
         description=(
             "Reproduce 'On the Limits of Leakage Power Reduction in Caches' "
             "(HPCA 2005): oracle leakage limits, technology sweeps and "
             "prefetch-guided approximations."
         ),
-    )
-    parser.add_argument(
-        "experiment",
-        help=(
-            "experiment name, 'all', 'list' to enumerate experiments, or "
-            "'cache' for cache maintenance"
+        epilog=(
+            "A bare experiment name ('repro-leakage table1') is shorthand "
+            "for 'repro-leakage run table1'."
         ),
     )
-    parser.add_argument(
-        "action",
-        nargs="?",
-        default=None,
-        help="subaction for 'cache': info (default) or clear",
+    commands = parser.add_subparsers(
+        dest="command", metavar="command", required=True
     )
-    parser.add_argument(
+    _add_run_parser(commands)
+    _add_cache_parser(commands)
+    _add_sweep_parser(commands)
+    return parser
+
+
+def _add_run_parser(commands) -> None:
+    run = commands.add_parser(
+        "run",
+        help="run one experiment, 'all', or 'list' to enumerate them",
+        description="Regenerate one of the paper's tables or figures.",
+    )
+    run.add_argument(
+        "experiment",
+        help="experiment name, 'all', or 'list' to enumerate experiments",
+    )
+    run.add_argument(
+        # Catches stray positionals ('repro-leakage table1 info') so the
+        # error can point at the command they belong to.
+        "extra",
+        nargs="*",
+        help=argparse.SUPPRESS,
+    )
+    run.add_argument(
         "--scale",
         type=float,
         default=1.0,
-        help="workload scale factor (1.0 = calibration length, ~2M instructions "
-        "per benchmark; smaller is faster)",
+        help="workload scale factor (1.0 = calibration length, ~2M "
+        "instructions per benchmark; smaller is faster)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--benchmarks",
         nargs="*",
         default=None,
         help=f"restrict the suite to these benchmarks (from: {BENCHMARK_NAMES})",
     )
-    parser.add_argument(
+    run.add_argument(
         "--jobs",
         type=int,
         default=None,
         metavar="N",
         help="simulation worker processes (default: REPRO_JOBS or the CPU count)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache (neither read nor write it)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--run-id",
         default=None,
         metavar="ID",
         help="journal this run under ID so it can be resumed after a crash",
     )
-    parser.add_argument(
+    run.add_argument(
         "--resume",
         default=None,
         metavar="ID",
         help="resume the interrupted run ID from its journal",
     )
-    parser.add_argument(
+    run.add_argument(
         "--manifest",
         default=None,
         metavar="PATH",
         help="write the run telemetry manifest as JSON to this file",
     )
-    parser.add_argument(
+    run.add_argument(
         "--output",
         default=None,
         help="also write the report to this file",
     )
-    parser.add_argument(
+    run.add_argument(
         "--csv",
         default=None,
         metavar="DIR",
         help="also export every table as CSV into this directory",
     )
-    return parser
+    run.set_defaults(handler=run_command)
+
+
+def _add_cache_parser(commands) -> None:
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or empty the on-disk result cache",
+        description=(
+            "Result-cache maintenance.  'info' reports location, size and "
+            "cross-run sharing statistics; 'clear' empties the cache."
+        ),
+    )
+    cache.add_argument(
+        "action",
+        nargs="?",
+        choices=("info", "clear"),
+        default="info",
+        help="info (default) or clear",
+    )
+    cache.set_defaults(handler=cache_command)
+
+
+def _add_spec_arguments(parser) -> None:
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="sweep spec as JSON (see repro.sweep.spec)",
+    )
+    parser.add_argument(
+        "--sweep-name",
+        default=None,
+        metavar="NAME",
+        help="build the spec from flags instead: the sweep's name",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="benchmark axis (default: the full suite)",
+    )
+    parser.add_argument(
+        "--scales",
+        nargs="*",
+        type=float,
+        default=None,
+        help="workload-scale axis (default: 1.0)",
+    )
+    parser.add_argument(
+        "--nodes",
+        nargs="*",
+        type=int,
+        default=None,
+        help="technology-node axis in nm (default: 70 100 130 180)",
+    )
+
+
+def _add_sweep_parser(commands) -> None:
+    sweep = commands.add_parser(
+        "sweep",
+        help="sharded parameter sweeps over the experiment grid",
+        description=(
+            "Expand a declarative spec (benchmarks x scales x pipelines x "
+            "technology nodes) into engine jobs, run them — optionally "
+            "sharded across hosts against a shared cache — and merge all "
+            "shards into one report."
+        ),
+    )
+    verbs = sweep.add_subparsers(dest="verb", metavar="verb", required=True)
+
+    plan = verbs.add_parser(
+        "plan", help="expand the grid and show the shard split (no runs)"
+    )
+    _add_spec_arguments(plan)
+    plan.add_argument(
+        "--shard-count", type=int, default=1, metavar="N",
+        help="preview the split across N shards",
+    )
+    plan.add_argument(
+        "--save", default=None, metavar="FILE",
+        help="also write the (possibly flag-built) spec as JSON",
+    )
+    plan.set_defaults(handler=sweep_plan_command)
+
+    run = verbs.add_parser(
+        "run", help="run one shard's slice of the sweep (resumable)"
+    )
+    _add_spec_arguments(run)
+    run.add_argument(
+        "--shard-index", type=int, default=0, metavar="I",
+        help="this host's shard index (default 0)",
+    )
+    run.add_argument(
+        "--shard-count", type=int, default=1, metavar="N",
+        help="total number of shards (default 1 = the whole grid)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulation worker processes for this shard",
+    )
+    run.set_defaults(handler=sweep_run_command)
+
+    status = verbs.add_parser(
+        "status", help="global progress across every shard journal"
+    )
+    _add_spec_arguments(status)
+    status.set_defaults(handler=sweep_status_command)
+
+    merge = verbs.add_parser(
+        "merge",
+        help="aggregate all shards into the sweep report + manifest",
+    )
+    _add_spec_arguments(merge)
+    merge.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for any points that still need simulating",
+    )
+    merge.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the merged report to this file",
+    )
+    merge.add_argument(
+        "--csv", default=None, metavar="DIR",
+        help="also export the sweep cells as CSV into this directory",
+    )
+    merge.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the sweep cells as JSON to this file",
+    )
+    merge.set_defaults(handler=sweep_merge_command)
 
 
 def _fail(message: str) -> int:
@@ -131,15 +325,13 @@ def _fail(message: str) -> int:
     return 2
 
 
-def cache_command(action: Optional[str]) -> int:
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def cache_command(args) -> int:
     """``repro-leakage cache {info,clear}``: inspect or empty the cache."""
-    action = action or "info"
-    if action not in CACHE_ACTIONS:
-        return _fail(
-            f"unknown cache action {action!r}; choose from {CACHE_ACTIONS}"
-        )
     store = ResultStore()
-    if action == "clear":
+    if args.action == "clear":
         removed = store.clear()
         print(f"cache: removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {store.describe()}")
@@ -153,9 +345,23 @@ def cache_command(action: Optional[str]) -> int:
         "size limit:      "
         + ("unbounded" if not limit else f"{limit / (1024 * 1024):.2f} MB")
     )
+    sharing = collect_sharing_stats(store.directory)
+    if sharing["manifests"]:
+        print(
+            f"sharing:         {sharing['manifests']} recorded run(s): "
+            f"{sharing['jobs']} job(s), {sharing['simulated']} simulated, "
+            f"{sharing['cached']} cache hit(s) "
+            f"({sharing['hits_from_earlier_runs']} produced by earlier "
+            f"runs, {sharing['hits_from_this_run']} by the hitting run)"
+        )
+    else:
+        print("sharing:         no journaled runs recorded yet")
     return 0
 
 
+# ----------------------------------------------------------------------
+# run (experiments)
+# ----------------------------------------------------------------------
 def _make_journal(args) -> Optional[RunJournal]:
     """The run journal implied by ``--run-id``/``--resume``, validated."""
     if args.resume and args.run_id and args.resume != args.run_id:
@@ -183,18 +389,12 @@ def _make_journal(args) -> Optional[RunJournal]:
     return journal
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.experiment == "cache":
-        try:
-            return cache_command(args.action)
-        except ReproError as error:
-            return _fail(str(error))
-    if args.action is not None:
+def run_command(args) -> int:
+    """``repro-leakage run <experiment>`` (also the bare historical form)."""
+    if args.extra:
         return _fail(
-            f"unexpected argument {args.action!r} "
-            f"(subactions only apply to 'cache')"
+            f"unexpected arguments {args.extra} after {args.experiment!r}; "
+            "subactions like 'info'/'clear' belong to the 'cache' command"
         )
     if args.experiment == "list":
         for name in experiment_names():
@@ -243,6 +443,125 @@ def main(argv: Optional[List[str]] = None) -> int:
         if written:
             print(f"run journal: {journal.describe()}", file=sys.stderr)
     return 0
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+def _spec_from_args(args) -> SweepSpec:
+    """Resolve the sweep spec: a JSON file, or constructed from flags."""
+    flag_axes = {
+        "benchmarks": args.benchmarks,
+        "scales": args.scales,
+        "nodes": args.nodes,
+    }
+    if args.spec is not None:
+        conflicting = [
+            f"--{name}" for name, value in flag_axes.items() if value is not None
+        ]
+        if args.sweep_name is not None:
+            conflicting.insert(0, "--sweep-name")
+        if conflicting:
+            raise ReproError(
+                f"--spec conflicts with {', '.join(conflicting)}; put the "
+                "axes in the spec file"
+            )
+        return SweepSpec.load(args.spec)
+    if args.sweep_name is None:
+        raise ReproError(
+            "a sweep needs --spec FILE or --sweep-name NAME (plus optional "
+            "--benchmarks/--scales/--nodes)"
+        )
+    kwargs = {
+        name: tuple(value)
+        for name, value in flag_axes.items()
+        if value is not None
+    }
+    return SweepSpec(name=args.sweep_name, **kwargs)
+
+
+def sweep_plan_command(args) -> int:
+    try:
+        spec = _spec_from_args(args)
+        print(plan_text(spec, shard_count=args.shard_count))
+        if args.save:
+            print(f"spec written: {spec.save(args.save)}", file=sys.stderr)
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def sweep_run_command(args) -> int:
+    try:
+        spec = _spec_from_args(args)
+        assignment = ShardAssignment(args.shard_index, args.shard_count)
+        run = run_shard(spec, assignment, jobs=args.jobs)
+    except ReproError as error:
+        return _fail(str(error))
+    for line in shard_run_summary(run):
+        print(line, file=sys.stderr)
+    return 0
+
+
+def sweep_status_command(args) -> int:
+    try:
+        spec = _spec_from_args(args)
+        print(status_text(spec))
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def sweep_merge_command(args) -> int:
+    try:
+        spec = _spec_from_args(args)
+        outcome = sweep_merge(spec, jobs=args.jobs)
+    except ReproError as error:
+        return _fail(str(error))
+    print(outcome.report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(outcome.report + "\n")
+    if args.csv:
+        from .sweep import save_csv as save_sweep_csv
+
+        path = save_sweep_csv(outcome.results, args.csv)
+        print(f"sweep csv: {path}", file=sys.stderr)
+    if args.json:
+        import json as json_module
+        from pathlib import Path
+
+        from .sweep import to_json_dict
+
+        target = Path(args.json)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json_module.dumps(
+                to_json_dict(outcome.results), indent=2, sort_keys=True
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"sweep json: {target}", file=sys.stderr)
+    if outcome.telemetry.jobs:
+        print(outcome.telemetry.summary(), file=sys.stderr)
+    if outcome.manifest_path:
+        print(f"sweep manifest: {outcome.manifest_path}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exit_:  # argparse error (2) or --help (0)
+        code = exit_.code
+        return code if isinstance(code, int) else 0 if code is None else 2
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        return _fail(str(error))
 
 
 if __name__ == "__main__":  # pragma: no cover

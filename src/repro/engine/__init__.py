@@ -21,7 +21,15 @@ Quickstart::
     print(engine.telemetry.summary())
 """
 
-from .checkpoint import RUNS_SUBDIR, RunJournal
+from .checkpoint import (
+    RUNS_SUBDIR,
+    SWEEPS_SUBDIR,
+    RunJournal,
+    atomic_write_json,
+    collect_sharing_stats,
+    iter_run_manifests,
+    validate_run_id,
+)
 from .faults import (
     CRASH_EXIT_CODE,
     ENV_FAULTS,
@@ -95,16 +103,21 @@ __all__ = [
     "SOURCE_FALLBACK",
     "SOURCE_PARALLEL",
     "SOURCE_SERIAL",
+    "SWEEPS_SUBDIR",
     "SimulationJob",
     "Stopwatch",
     "active_plan",
     "apply_store_fault",
+    "atomic_write_json",
     "attempt_parallel",
+    "collect_sharing_stats",
     "default_job_timeout",
     "default_retry_policy",
     "execute_job",
+    "iter_run_manifests",
     "parse_fault_plan",
     "resolve_cache_dir",
     "resolve_cache_limit",
     "resolve_worker_count",
+    "validate_run_id",
 ]

@@ -158,6 +158,7 @@ class ExecutionEngine:
         self.telemetry.add_wall(time.perf_counter() - run_start)
         for job in ordered:
             self.telemetry.record_outcome(outcomes[job])
+        self.telemetry.record_store(self.store)
         return outcomes
 
     def run_one(self, job: SimulationJob) -> JobOutcome:

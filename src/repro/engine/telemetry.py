@@ -22,8 +22,10 @@ from .jobs import SOURCE_CACHED, JobOutcome
 
 #: Version of the manifest JSON layout, independent of the result cache's
 #: payload schema version.  Version 2 added per-job attempts plus the
-#: ``retries`` and ``faults`` sections.
-MANIFEST_VERSION = 2
+#: ``retries`` and ``faults`` sections; version 3 added the ``store``
+#: section and the cross-run cache-sharing totals
+#: (``cache_hits_from_earlier_runs`` / ``cache_hits_from_this_run``).
+MANIFEST_VERSION = 3
 
 
 class Stopwatch:
@@ -74,6 +76,7 @@ class RunTelemetry:
     notes: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
     context: Dict = field(default_factory=dict)
+    store_stats: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Recording
@@ -116,6 +119,24 @@ class RunTelemetry:
     def note(self, message: str) -> None:
         """Attach a free-form robustness note (pool fallbacks, evictions)."""
         self.notes.append(message)
+
+    def record_store(self, store) -> None:
+        """Snapshot the result store's counters (idempotent, cumulative).
+
+        The sharing split — hits served by entries an *earlier* run wrote
+        vs. entries this run produced itself — is what makes shard overlap
+        and warm reruns visible in the manifest and ``cache info``.
+        """
+        self.store_stats = {
+            "hits": int(getattr(store, "hits", 0)),
+            "misses": int(getattr(store, "misses", 0)),
+            "evictions": int(getattr(store, "evictions", 0)),
+            "write_errors": int(getattr(store, "write_errors", 0)),
+            "hits_from_earlier_runs": int(
+                getattr(store, "hits_from_earlier_runs", 0)
+            ),
+            "hits_from_this_run": int(getattr(store, "hits_from_this_run", 0)),
+        }
 
     def add_wall(self, seconds: float) -> None:
         """Accumulate run-level wall time (one engine.run call)."""
@@ -182,6 +203,12 @@ class RunTelemetry:
                 "retries": len(self.retries),
                 "retried_jobs": self.retried,
                 "faults_injected": len(self.faults),
+                "cache_hits_from_earlier_runs": self.store_stats.get(
+                    "hits_from_earlier_runs", 0
+                ),
+                "cache_hits_from_this_run": self.store_stats.get(
+                    "hits_from_this_run", 0
+                ),
                 "wall_seconds": self.wall_seconds,
                 "instructions": self.instructions,
                 "simulated_instructions": self.simulated_instructions,
@@ -205,6 +232,7 @@ class RunTelemetry:
             "retries": [dict(r) for r in self.retries],
             "faults": list(self.faults),
             "notes": list(self.notes),
+            "store": dict(self.store_stats),
         }
 
     def write_manifest(self, path) -> str:
@@ -238,6 +266,9 @@ class RunTelemetry:
             parts.append(f"| {len(self.retries)} retr{'y' if len(self.retries) == 1 else 'ies'}")
         if self.faults:
             parts.append(f"| {len(self.faults)} fault(s) injected")
+        shared = self.store_stats.get("hits_from_earlier_runs", 0)
+        if shared:
+            parts.append(f"| {shared} hit(s) shared from earlier runs")
         cache_dir = self.context.get("cache_dir")
         if cache_dir:
             parts.append(f"| cache: {cache_dir}")

@@ -86,18 +86,25 @@ class SuiteRunner:
         """The engine's run telemetry (retries, faults, notes included)."""
         return self.engine.telemetry
 
-    def _job(self, name: str) -> SimulationJob:
-        return SimulationJob(name, scale=self.scale, pipeline=self.pipeline)
+    def job_for(self, name: str) -> SimulationJob:
+        """The engine job backing one benchmark of this suite.
 
-    def run(self, name: str) -> BenchmarkRun:
-        """Simulate one benchmark (cached in memory and on disk)."""
+        Public so the sweep grid (:mod:`repro.sweep.grid`) expands its
+        points through the exact same job construction — a sweep point
+        and a single-run suite entry with the same (benchmark, scale,
+        pipeline) share one content address, hence one cache entry.
+        """
         if name not in self.benchmark_names:
             raise ExperimentError(
                 f"benchmark {name!r} is not in this runner's suite "
                 f"{self.benchmark_names}"
             )
+        return SimulationJob(name, scale=self.scale, pipeline=self.pipeline)
+
+    def run(self, name: str) -> BenchmarkRun:
+        """Simulate one benchmark (cached in memory and on disk)."""
         if name not in self._cache:
-            outcome = self.engine.run_one(self._job(name))
+            outcome = self.engine.run_one(self.job_for(name))
             self._cache[name] = BenchmarkRun(name=name, annotated=outcome.annotated)
         return self._cache[name]
 
@@ -105,9 +112,9 @@ class SuiteRunner:
         """Simulate the whole suite; misses fan out across workers."""
         missing = [n for n in self.benchmark_names if n not in self._cache]
         if missing:
-            outcomes = self.engine.run([self._job(n) for n in missing])
+            outcomes = self.engine.run([self.job_for(n) for n in missing])
             for name in missing:
-                annotated = outcomes[self._job(name)].annotated
+                annotated = outcomes[self.job_for(name)].annotated
                 self._cache[name] = BenchmarkRun(name=name, annotated=annotated)
         return {name: self._cache[name] for name in self.benchmark_names}
 

@@ -1,0 +1,177 @@
+"""Shared sweep journals: many hosts, one progress record.
+
+A sweep owns a directory under ``<cache_dir>/sweeps/<name>/`` shared by
+every shard (on one host, or many hosts mounting the same cache):
+
+* ``spec.json`` — the sweep spec, written atomically by the first shard
+  to arrive.  Every later shard (and ``status``/``merge``) verifies its
+  own spec against it by fingerprint, so two hosts can never silently
+  run *different* grids under one sweep name.
+* ``shard-<i>-of-<n>/journal.jsonl`` — one engine run journal per shard
+  (:class:`~repro.engine.checkpoint.RunJournal` rooted in the sweep
+  directory), appended and fsynced as each job completes.  Re-running a
+  shard resumes from its journal; the content-addressed result cache
+  supplies the payloads.
+* ``shard-<i>-of-<n>/manifest.json`` — that shard's telemetry manifest.
+* ``manifest.json`` — the merged sweep manifest, written atomically by
+  ``sweep merge`` from the union of shard journals (flagged
+  ``"merged": true`` so the cross-run sharing statistics count only its
+  ``merge_totals``, never the duplicated ``shard_totals``).
+
+The journals are progress records, never result stores: ``merge`` reads
+results from the cache (recomputing transparently if an entry rotted),
+which is what makes a merged report byte-identical to an unsharded run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Set
+
+from ..engine import (
+    SWEEPS_SUBDIR,
+    RunJournal,
+    atomic_write_json,
+    resolve_cache_dir,
+)
+from ..errors import EngineError
+from .grid import expand
+from .shard import ShardAssignment
+from .spec import SweepSpec
+
+_SHARD_DIR_PATTERN = re.compile(r"^shard-(\d+)-of-(\d+)$")
+
+
+class SweepCoordinator:
+    """Manages one sweep's shared journal directory."""
+
+    def __init__(
+        self, spec: SweepSpec, cache_dir: Optional[os.PathLike] = None
+    ) -> None:
+        self.spec = spec
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        self.subdir = f"{SWEEPS_SUBDIR}/{spec.name}"
+        self.directory = self.cache_dir / SWEEPS_SUBDIR / spec.name
+        self.spec_path = self.directory / "spec.json"
+        self.manifest_path = self.directory / "manifest.json"
+
+    # ------------------------------------------------------------------
+    # Spec pinning
+    # ------------------------------------------------------------------
+    def ensure_spec(self) -> None:
+        """Pin this sweep's spec on disk, or verify it matches the pin.
+
+        The first shard writes ``spec.json``; everyone after must carry
+        an identical spec (by fingerprint).  A mismatch is a hard error:
+        merging journals from two different grids would silently drop or
+        duplicate points.
+        """
+        recorded = self._load_recorded_spec()
+        if recorded is None:
+            if atomic_write_json(self.spec_path, self.spec.to_dict()) is None:
+                raise EngineError(
+                    f"cannot write sweep spec under {self.describe()}; "
+                    "is the cache directory writable?"
+                )
+            return
+        if recorded.fingerprint() != self.spec.fingerprint():
+            raise EngineError(
+                f"sweep {self.spec.name!r} already exists under "
+                f"{self.describe()} with a different spec "
+                f"(recorded {recorded.fingerprint()[:12]}, "
+                f"yours {self.spec.fingerprint()[:12]}); use a new sweep "
+                "name or delete the old sweep directory"
+            )
+
+    def _load_recorded_spec(self) -> Optional[SweepSpec]:
+        try:
+            text = self.spec_path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        return SweepSpec.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Shard journals
+    # ------------------------------------------------------------------
+    def shard_journal(self, assignment: ShardAssignment) -> RunJournal:
+        """The engine journal for one shard, rooted in the sweep dir."""
+        return RunJournal(self.cache_dir, assignment.run_id, subdir=self.subdir)
+
+    def shard_names(self) -> List[str]:
+        """Names of every shard directory present, sorted."""
+        try:
+            entries = sorted(p.name for p in self.directory.iterdir())
+        except OSError:
+            return []
+        return [n for n in entries if _SHARD_DIR_PATTERN.match(n)]
+
+    def completed_keys(self) -> Set[str]:
+        """Union of every shard journal's completed job keys."""
+        keys: Set[str] = set()
+        for name in self.shard_names():
+            journal = RunJournal(self.cache_dir, name, subdir=self.subdir)
+            keys |= journal.load()
+        return keys
+
+    # ------------------------------------------------------------------
+    # Status and merge
+    # ------------------------------------------------------------------
+    def status(self) -> Dict:
+        """Global progress: grid size, per-shard and union completion."""
+        points = expand(self.spec)
+        grid_keys = {point.key() for point in points}
+        shards = []
+        union: Set[str] = set()
+        for name in self.shard_names():
+            journal = RunJournal(self.cache_dir, name, subdir=self.subdir)
+            recorded = journal.load() & grid_keys
+            union |= recorded
+            match = _SHARD_DIR_PATTERN.match(name)
+            owned = None
+            if match:
+                index, count = int(match.group(1)), int(match.group(2))
+                if 0 <= index < count:
+                    assignment = ShardAssignment(index, count)
+                    owned = sum(1 for k in grid_keys if assignment.owns(k))
+            shards.append(
+                {
+                    "name": name,
+                    "journaled": len(recorded),
+                    "owned": owned,
+                    "manifest": (
+                        self.directory / name / "manifest.json"
+                    ).exists(),
+                }
+            )
+        missing = [p.describe() for p in points if p.key() not in union]
+        return {
+            "sweep": self.spec.name,
+            "directory": self.describe(),
+            "spec_fingerprint": self.spec.fingerprint(),
+            "grid_jobs": len(grid_keys),
+            "completed": len(union),
+            "missing": missing,
+            "shards": shards,
+        }
+
+    def write_merged_manifest(self, payload: Dict) -> Optional[str]:
+        """Atomically write the sweep-level manifest (``"merged": true``)."""
+        merged = dict(payload)
+        merged["merged"] = True
+        return atomic_write_json(self.manifest_path, merged)
+
+    def describe(self) -> str:
+        """Location string for errors and telemetry."""
+        return str(self.directory)
+
+
+def parse_shard_name(name: str) -> Optional[ShardAssignment]:
+    """The assignment a shard directory name encodes, if valid."""
+    match = _SHARD_DIR_PATTERN.match(name)
+    if not match:
+        return None
+    index, count = int(match.group(1)), int(match.group(2))
+    if not 0 <= index < count:
+        return None
+    return ShardAssignment(index, count)

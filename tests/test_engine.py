@@ -299,7 +299,7 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 2
+        assert manifest["manifest_version"] == 3
         assert manifest["retries"] == []
         assert manifest["faults"] == []
         totals = manifest["totals"]
@@ -312,6 +312,8 @@ class TestTelemetry:
             "retries",
             "retried_jobs",
             "faults_injected",
+            "cache_hits_from_earlier_runs",
+            "cache_hits_from_this_run",
             "wall_seconds",
             "instructions",
             "simulated_instructions",
@@ -320,6 +322,11 @@ class TestTelemetry:
             assert field in totals
         assert totals["jobs"] == len(SUITE_NAMES)
         assert totals["cached"] == totals["jobs"]
+        # The warm store was filled by an earlier engine instance, so every
+        # hit counts as shared from an earlier run.
+        assert totals["cache_hits_from_earlier_runs"] == totals["jobs"]
+        assert totals["cache_hits_from_this_run"] == 0
+        assert manifest["store"]["hits"] == totals["jobs"]
         assert manifest["engine"]["max_workers"] == 2
         for row in manifest["jobs"]:
             assert row["benchmark"] in SUITE_NAMES
