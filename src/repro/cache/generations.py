@@ -17,16 +17,23 @@ Interval kinds produced:
   whole timeline of frames never used — ``COLD``;
 * the gap from the final access to the end of simulation — ``DEAD`` (the
   oracle knows the program ends; data is never needed again).
+
+Intervals are stored in preallocated, doubling numpy buffers rather than
+Python lists: the scalar :meth:`GenerationTracker.on_hit`/:meth:`on_fill`
+path appends one record at a time, while the batched kernel
+(:mod:`repro.cache.kernel`) lands whole chunks at once through
+:meth:`GenerationTracker.extend`.
 """
 
 from __future__ import annotations
-
-from typing import List
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..core.intervals import IntervalKind, IntervalSet
+
+#: Initial capacity of the interval buffers (doubles as needed).
+_INITIAL_CAPACITY = 1024
 
 
 class GenerationTracker:
@@ -45,10 +52,38 @@ class GenerationTracker:
             raise SimulationError(f"tracker needs frames, got {n_frames!r}")
         self.n_frames = n_frames
         self.start_time = start_time
-        self._last_access = [-1] * n_frames
-        self._lengths: List[int] = []
-        self._kinds: List[int] = []
+        self._last_access = np.full(n_frames, -1, dtype=np.int64)
+        self._lengths = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._kinds = np.empty(_INITIAL_CAPACITY, dtype=np.uint8)
+        self._n = 0
         self._finished = False
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        capacity = len(self._lengths)
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        lengths = np.empty(capacity, dtype=np.int64)
+        kinds = np.empty(capacity, dtype=np.uint8)
+        lengths[: self._n] = self._lengths[: self._n]
+        kinds[: self._n] = self._kinds[: self._n]
+        self._lengths = lengths
+        self._kinds = kinds
+
+    def _append(self, gap: int, kind: int) -> None:
+        self._reserve(1)
+        self._lengths[self._n] = gap
+        self._kinds[self._n] = kind
+        self._n += 1
 
     # ------------------------------------------------------------------
     # Event intake (called by the cache on every access)
@@ -56,15 +91,14 @@ class GenerationTracker:
 
     def on_hit(self, frame: int, time: int) -> None:
         """A hit re-accesses the resident generation."""
-        last = self._last_access[frame]
+        last = int(self._last_access[frame])
         if time < last:
             raise SimulationError(
                 f"time moved backwards on frame {frame}: {last} -> {time}"
             )
         gap = time - last
         if gap > 0:
-            self._lengths.append(gap)
-            self._kinds.append(IntervalKind.NORMAL)
+            self._append(gap, IntervalKind.NORMAL)
         self._last_access[frame] = time
 
     def on_fill(self, frame: int, time: int) -> None:
@@ -73,7 +107,7 @@ class GenerationTracker:
         Closes the previous generation with a ``DEAD`` interval (or the
         frame's initial ``COLD`` interval if this is its first use).
         """
-        last = self._last_access[frame]
+        last = int(self._last_access[frame])
         if last == -1:
             gap = time - self.start_time
             kind = IntervalKind.COLD
@@ -85,9 +119,37 @@ class GenerationTracker:
             gap = time - last
             kind = IntervalKind.DEAD
         if gap > 0:
-            self._lengths.append(gap)
-            self._kinds.append(kind)
+            self._append(gap, kind)
         self._last_access[frame] = time
+
+    # ------------------------------------------------------------------
+    # Batched intake (used by the kernel)
+    # ------------------------------------------------------------------
+
+    def extend(self, lengths: np.ndarray, kinds: np.ndarray) -> None:
+        """Append a block of already-computed intervals in event order.
+
+        The caller (the batched kernel) guarantees the records are exactly
+        the ones the scalar event path would have appended, in the same
+        order; only positive lengths may be supplied.
+        """
+        if self._finished:
+            raise SimulationError("tracker already finished")
+        count = len(lengths)
+        if count == 0:
+            return
+        self._reserve(count)
+        self._lengths[self._n : self._n + count] = lengths
+        self._kinds[self._n : self._n + count] = kinds
+        self._n += count
+
+    def set_last_access(self, last_access: np.ndarray) -> None:
+        """Overwrite the per-frame last-access times (kernel sync point)."""
+        if last_access.shape != (self.n_frames,):
+            raise SimulationError(
+                "last-access array does not match the tracked frame count"
+            )
+        self._last_access[:] = last_access
 
     # ------------------------------------------------------------------
     # Finalization
@@ -101,22 +163,20 @@ class GenerationTracker:
         """
         if self._finished:
             raise SimulationError("tracker already finished")
-        for frame in range(self.n_frames):
-            last = self._last_access[frame]
-            if last == -1:
-                gap = end_time - self.start_time
-                kind = IntervalKind.COLD
-            else:
-                if end_time < last:
-                    raise SimulationError(
-                        f"end_time {end_time} precedes last access {last} "
-                        f"on frame {frame}"
-                    )
-                gap = end_time - last
-                kind = IntervalKind.DEAD
-            if gap > 0:
-                self._lengths.append(gap)
-                self._kinds.append(kind)
+        last = self._last_access
+        if bool(np.any(last > end_time)):
+            frame = int(np.argmax(last > end_time))
+            raise SimulationError(
+                f"end_time {end_time} precedes last access {int(last[frame])} "
+                f"on frame {frame}"
+            )
+        cold = last == -1
+        gaps = np.where(cold, end_time - self.start_time, end_time - last)
+        kinds = np.where(
+            cold, np.uint8(IntervalKind.COLD), np.uint8(IntervalKind.DEAD)
+        )
+        keep = gaps > 0
+        self.extend(gaps[keep], kinds[keep])
         self._finished = True
 
     def intervals(self) -> IntervalSet:
@@ -126,6 +186,6 @@ class GenerationTracker:
                 "call finish(end_time) before extracting intervals"
             )
         return IntervalSet(
-            np.asarray(self._lengths, dtype=np.int64),
-            np.asarray(self._kinds, dtype=np.uint8),
+            self._lengths[: self._n].copy(),
+            self._kinds[: self._n].copy(),
         )

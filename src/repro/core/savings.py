@@ -33,12 +33,14 @@ class ModeBreakdown:
     interval_count: int
     cycles: int
     energy: float
+    total_cycles: int = 0  #: All interval cycles of the population.
 
     @property
     def cycle_share(self) -> float:
-        """Fraction of all interval cycles spent under this mode — filled
-        in by :class:`SavingsReport` accessors; stored as raw cycles here."""
-        return float(self.cycles)
+        """Fraction of all interval cycles spent under this mode (0..1)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.cycles / self.total_cycles
 
 
 @dataclass(frozen=True)
@@ -105,7 +107,8 @@ def evaluate_policy(
     energies = policy.energies(lengths, intervals.kinds, dead_aware=dead_aware)
     codes = policy.modes(lengths)
     baseline = float(policy.model.active_energy_array(lengths).sum())
-    overhead = policy.overhead_power_fraction * float(lengths.sum())
+    total_cycles = int(lengths.sum())
+    overhead = policy.overhead_power_fraction * float(total_cycles)
     breakdown: Dict[Mode, ModeBreakdown] = {}
     for code, mode in CODE_MODES.items():
         mask = codes == code
@@ -116,6 +119,7 @@ def evaluate_policy(
             interval_count=int(mask.sum()),
             cycles=int(lengths[mask].sum()),
             energy=float(energies[mask].sum()),
+            total_cycles=total_cycles,
         )
     return SavingsReport(
         policy_name=policy.name,

@@ -1,0 +1,140 @@
+"""Stacked per-node policy evaluation: all technology nodes in one pass.
+
+The technology-scaling experiments (Table 2, the sweep grid) evaluate the
+same three oracle schemes — OPT-Drowsy, OPT-Sleep, OPT-Hybrid — over one
+interval population at every technology node.  Looping over nodes repeats
+the expensive part (per-interval energy arrays and their reductions) once
+per node in Python.  Because every mode energy is affine in the interval
+length (``E = p * L + c`` with per-node scalars ``p``, ``c`` — see
+:mod:`repro.core.energy`), the whole grid is one broadcast: per-node
+coefficient *columns* against a single interval-length *row*.
+
+The arithmetic is arranged so each matrix row is elementwise identical to
+the arrays :func:`repro.core.savings.evaluate_policy` builds for that
+node, and row sums run over C-contiguous rows (numpy's pairwise
+reduction, same as the 1-D case) — so the stacked savings are
+*float-identical* to the per-node loop, not merely close.  The test suite
+pins this equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IntervalError, PolicyError
+from .energy import ModeEnergyModel
+from .inflection import inflection_points
+from .intervals import IntervalSet
+
+#: Scheme rows produced by :func:`stacked_trio_savings`, in order.
+TRIO_SCHEMES: Tuple[str, str, str] = ("OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid")
+
+
+@dataclass(frozen=True)
+class StackedSavings:
+    """Savings of the oracle trio across technology nodes.
+
+    ``savings[i, j]`` is scheme ``schemes[i]`` at node ``feature_nms[j]``,
+    as a leakage-saving fraction in [0, 1] (matching
+    ``evaluate_policy(...).saving_fraction``).
+    """
+
+    feature_nms: Tuple[int, ...]
+    schemes: Tuple[str, ...]
+    savings: np.ndarray
+
+    def saving(self, scheme: str, feature_nm: int) -> float:
+        """One cell, by scheme name and node feature size."""
+        return float(
+            self.savings[self.schemes.index(scheme),
+                         self.feature_nms.index(feature_nm)]
+        )
+
+    def by_scheme(self, feature_nm: int) -> Dict[str, float]:
+        """All schemes' savings at one node."""
+        column = self.feature_nms.index(feature_nm)
+        return {
+            scheme: float(self.savings[row, column])
+            for row, scheme in enumerate(self.schemes)
+        }
+
+
+def stacked_trio_savings(
+    models: Sequence[ModeEnergyModel],
+    intervals: IntervalSet,
+) -> np.ndarray:
+    """Saving fractions of the oracle trio, all ``models`` at once.
+
+    Returns a ``(3, len(models))`` array ordered like
+    :data:`TRIO_SCHEMES`.  Float-identical to calling
+    :func:`~repro.core.savings.evaluate_policy` with ``OptDrowsy`` /
+    ``OptSleep`` / ``OptHybrid`` per model.
+    """
+    if not len(intervals):
+        raise IntervalError("cannot evaluate policies over zero intervals")
+    if not len(models):
+        raise PolicyError("stacked evaluation needs at least one energy model")
+    lengths = np.asarray(intervals.lengths, dtype=np.int64)
+    lengths_f = np.asarray(lengths, dtype=np.float64)
+
+    points = [inflection_points(model) for model in models]
+    for model, pts in zip(models, points):
+        # Mirror the OptSleep/OptHybrid constructor guards: sleeping at
+        # the drowsy-sleep point must be physically feasible.
+        if pts.drowsy_sleep < model.sleep_min_length:
+            raise PolicyError(
+                f"node {model.node.name}: drowsy-sleep point "
+                f"{pts.drowsy_sleep:.1f} is below the sleep transition time "
+                f"{model.sleep_min_length}"
+            )
+
+    def column(values) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)[:, None]
+
+    p_drowsy = column([m.p_drowsy for m in models])
+    p_sleep = column([m.p_sleep for m in models])
+    c_drowsy = column([m.drowsy_constant for m in models])
+    c_sleep = column([m.sleep_constant for m in models])
+    active_drowsy = column([p.active_drowsy for p in points])
+    drowsy_sleep = column([p.drowsy_sleep for p in points])
+
+    # One row per node, elementwise identical to the per-node arrays.
+    active_row = models[0].p_active * lengths_f
+    baseline = float(active_row.sum())
+    drowsy_rows = p_drowsy * lengths_f + c_drowsy
+    sleep_rows = p_sleep * lengths_f + c_sleep
+    active_rows = np.broadcast_to(active_row, drowsy_rows.shape)
+    drowsy_mask = lengths > active_drowsy
+    sleep_mask = lengths > drowsy_sleep
+
+    energy_drowsy = np.where(drowsy_mask, drowsy_rows, active_rows)
+    energy_sleep = np.where(sleep_mask, sleep_rows, active_rows)
+    energy_hybrid = np.where(
+        sleep_mask, sleep_rows, np.where(drowsy_mask, drowsy_rows, active_rows)
+    )
+
+    totals = np.stack(
+        [
+            energy_drowsy.sum(axis=1),
+            energy_sleep.sum(axis=1),
+            energy_hybrid.sum(axis=1),
+        ]
+    )
+    return 1.0 - totals / baseline
+
+
+def stacked_savings_for_nodes(
+    models: Dict[int, ModeEnergyModel],
+    intervals: IntervalSet,
+) -> StackedSavings:
+    """Keyed convenience wrapper: ``{feature_nm: model}`` in, cells out."""
+    feature_nms = tuple(models.keys())
+    ordered = [models[nm] for nm in feature_nms]
+    return StackedSavings(
+        feature_nms=feature_nms,
+        schemes=TRIO_SCHEMES,
+        savings=stacked_trio_savings(ordered, intervals),
+    )

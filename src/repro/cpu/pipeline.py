@@ -21,6 +21,21 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 
+#: Fixed-point resolution of the CPI accumulator: fractions of a cycle are
+#: carried in units of 2**-CPI_FP_BITS.  Integer arithmetic keeps the clock
+#: exactly replayable in closed form — after ``n`` issues and no stalls the
+#: cycle is ``(n * cpi_fp) >> CPI_FP_BITS`` — which is what lets the batched
+#: kernel (:mod:`repro.cache.kernel`) compute issue times for whole chunks
+#: in one vectorized expression while staying bit-identical to the scalar
+#: path.  At 2**-20 cycles the quantization of ``base_cpi`` is below one
+#: part per million, invisible next to the model's own approximations.
+CPI_FP_BITS = 20
+
+
+def cpi_fixed_point(base_cpi: float) -> int:
+    """``base_cpi`` in fixed-point accumulator units (2**-CPI_FP_BITS)."""
+    return round(base_cpi * (1 << CPI_FP_BITS))
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -86,23 +101,27 @@ class IssueClock:
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config if config is not None else PipelineConfig()
         self.cycle = 0
-        self._cpi_accumulator = 0.0
+        self._cpi_fp = cpi_fixed_point(self.config.base_cpi)
+        self._cpi_accumulator = 0
         self.instructions = 0
         self.stall_cycles = 0
 
     def issue(self) -> int:
         """Issue one instruction; returns the cycle it issues in.
 
-        The core's base CPI is charged through a fractional accumulator,
-        so a 0.65-CPI machine advances the clock by 0 or 1 cycles per
-        instruction with the right long-run average.
+        The core's base CPI is charged through a fixed-point fractional
+        accumulator (units of 2**-CPI_FP_BITS cycles), so a 0.65-CPI
+        machine advances the clock by 0 or 1 cycles per instruction with
+        the right long-run average, and the base issue time of the n-th
+        instruction has the closed form ``(n * cpi_fp) >> CPI_FP_BITS``
+        plus accrued stalls.
         """
         issued_at = self.cycle
         self.instructions += 1
-        self._cpi_accumulator += self.config.base_cpi
-        advance = int(self._cpi_accumulator)
+        self._cpi_accumulator += self._cpi_fp
+        advance = self._cpi_accumulator >> CPI_FP_BITS
         if advance:
-            self._cpi_accumulator -= advance
+            self._cpi_accumulator &= (1 << CPI_FP_BITS) - 1
             self.cycle += advance
         return issued_at
 

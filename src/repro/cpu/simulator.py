@@ -7,16 +7,21 @@ and the memory hierarchy, producing a :class:`SimulationResult` holding
   data caches (what the limit analysis consumes),
 * hierarchy statistics, cycle count and IPC.
 
-The inner loop is deliberately flat (local bindings, no per-access object
-allocation): benchmarks push millions of instructions through it.
+Two execution paths produce bit-identical results: the batched kernel
+(:mod:`repro.cache.kernel`), used whenever the hierarchy supports it,
+and the scalar per-access loop, kept both as a fallback for exotic
+configurations and as the equivalence oracle the kernel is tested
+against (``kernel=False`` forces it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time as _time
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from ..cache.kernel import SimulationProfile, kernel_supported, run_batched
 from ..cache.stats import HierarchyStats
 from ..core.intervals import IntervalSet
 from ..errors import SimulationError
@@ -34,6 +39,12 @@ class SimulationResult:
     l1i_intervals: IntervalSet
     l1d_intervals: IntervalSet
     stats: HierarchyStats
+    #: Where the run's accesses and wall time went.  Excluded from
+    #: equality: a batched and a scalar run of the same trace compare
+    #: equal on every simulated quantity.
+    profile: Optional[SimulationProfile] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def ipc(self) -> float:
@@ -57,11 +68,15 @@ class TraceSimulator:
         self,
         hierarchy: Optional[MemoryHierarchy] = None,
         pipeline: Optional[PipelineConfig] = None,
+        kernel: Optional[bool] = None,
     ) -> None:
         self.hierarchy = (
             hierarchy if hierarchy is not None else MemoryHierarchy(HierarchyConfig.paper())
         )
         self.clock = IssueClock(pipeline)
+        #: None = auto (batched when supported); True forces the kernel
+        #: (raising if unsupported); False forces the scalar oracle.
+        self.kernel = kernel
         self._ran = False
 
     def run(self, trace: Iterable[TraceChunk] | TraceChunk) -> SimulationResult:
@@ -78,6 +93,27 @@ class TraceSimulator:
         if isinstance(trace, TraceChunk):
             trace = (trace,)
 
+        use_kernel = self.kernel
+        if use_kernel is None:
+            use_kernel = kernel_supported(self.hierarchy)
+        if use_kernel:
+            return self._run_batched(trace)
+        return self._run_scalar(trace)
+
+    def _run_batched(self, trace: Iterable[TraceChunk]) -> SimulationResult:
+        hierarchy = self.hierarchy
+        outcome = run_batched(hierarchy, self.clock, trace)
+        return SimulationResult(
+            cycles=outcome.cycles,
+            instructions=outcome.instructions,
+            stall_cycles=outcome.stall_cycles,
+            l1i_intervals=hierarchy.l1i.intervals(),
+            l1d_intervals=hierarchy.l1d.intervals(),
+            stats=hierarchy.stats(),
+            profile=outcome.profile,
+        )
+
+    def _run_scalar(self, trace: Iterable[TraceChunk]) -> SimulationResult:
         hierarchy = self.hierarchy
         clock = self.clock
         config = clock.config
@@ -93,6 +129,8 @@ class TraceSimulator:
         # accessed once per group, not once per instruction.
         group_bits = config.fetch_group_bytes.bit_length() - 1
         prev_igroup = -1
+        accesses_before = hierarchy.l1i.stats.accesses + hierarchy.l1d.stats.accesses
+        started = _time.perf_counter()
 
         for chunk in trace:
             pcs = chunk.pcs
@@ -118,6 +156,16 @@ class TraceSimulator:
 
         end_time = clock.cycle + 1
         hierarchy.finish(end_time)
+        accesses = (
+            hierarchy.l1i.stats.accesses + hierarchy.l1d.stats.accesses
+            - accesses_before
+        )
+        profile = SimulationProfile(
+            mode="scalar",
+            fast_path_accesses=0,
+            slow_path_accesses=accesses,
+            stage_seconds={"scalar": _time.perf_counter() - started},
+        )
         return SimulationResult(
             cycles=end_time,
             instructions=clock.instructions,
@@ -125,6 +173,7 @@ class TraceSimulator:
             l1i_intervals=hierarchy.l1i.intervals(),
             l1d_intervals=hierarchy.l1d.intervals(),
             stats=hierarchy.stats(),
+            profile=profile,
         )
 
 
@@ -132,6 +181,7 @@ def simulate_trace(
     trace: Iterable[TraceChunk] | TraceChunk,
     hierarchy: Optional[MemoryHierarchy] = None,
     pipeline: Optional[PipelineConfig] = None,
+    kernel: Optional[bool] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`TraceSimulator`."""
-    return TraceSimulator(hierarchy, pipeline).run(trace)
+    return TraceSimulator(hierarchy, pipeline, kernel=kernel).run(trace)

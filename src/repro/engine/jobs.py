@@ -26,7 +26,11 @@ from ..workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
 #: simulator, workload generators or annotation logic alters results:
 #: every existing cache entry is then version-mismatched, evicted on
 #: first read, and transparently recomputed.
-SCHEMA_VERSION = 1
+#:
+#: Version 2: the batched simulation kernel (fixed-point issue clock,
+#: ``SimulationResult.profile``) — results carry new fields and the
+#: clock's CPI quantization is at the 2**-20 level.
+SCHEMA_VERSION = 2
 
 #: ``JobOutcome.source`` values.
 SOURCE_CACHED = "cached"

@@ -24,8 +24,11 @@ from .jobs import SOURCE_CACHED, JobOutcome
 #: payload schema version.  Version 2 added per-job attempts plus the
 #: ``retries`` and ``faults`` sections; version 3 added the ``store``
 #: section and the cross-run cache-sharing totals
-#: (``cache_hits_from_earlier_runs`` / ``cache_hits_from_this_run``).
-MANIFEST_VERSION = 3
+#: (``cache_hits_from_earlier_runs`` / ``cache_hits_from_this_run``);
+#: version 4 added the simulation-kernel profile: per-job
+#: ``kernel_mode`` / ``fast_path_accesses`` / ``slow_path_accesses`` /
+#: ``stage_seconds`` and the run-level fast-path totals.
+MANIFEST_VERSION = 4
 
 
 class Stopwatch:
@@ -56,6 +59,12 @@ class JobRecord:
     instructions: int
     cycles: int
     attempts: int = 1
+    #: Simulation-kernel profile ("batched"/"scalar"; empty for results
+    #: cached before profiles existed).
+    kernel_mode: str = ""
+    fast_path_accesses: int = 0
+    slow_path_accesses: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def instructions_per_second(self) -> float:
@@ -63,6 +72,12 @@ class JobRecord:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.instructions / self.wall_seconds
+
+    @property
+    def fast_path_share(self) -> float:
+        """Fraction of this job's L1 accesses resolved on the fast path."""
+        total = self.fast_path_accesses + self.slow_path_accesses
+        return self.fast_path_accesses / total if total else 0.0
 
 
 @dataclass
@@ -84,6 +99,8 @@ class RunTelemetry:
     def record_outcome(self, outcome: JobOutcome) -> None:
         """Add one job outcome's telemetry row."""
         result = outcome.annotated.result
+        # getattr: results cached before profiles existed lack the field.
+        profile = getattr(result, "profile", None)
         self.records.append(
             JobRecord(
                 benchmark=outcome.job.benchmark,
@@ -94,6 +111,18 @@ class RunTelemetry:
                 instructions=int(result.instructions),
                 cycles=int(result.cycles),
                 attempts=outcome.attempts,
+                kernel_mode=profile.mode if profile else "",
+                fast_path_accesses=(
+                    int(profile.fast_path_accesses) if profile else 0
+                ),
+                slow_path_accesses=(
+                    int(profile.slow_path_accesses) if profile else 0
+                ),
+                stage_seconds=(
+                    {k: float(v) for k, v in profile.stage_seconds.items()}
+                    if profile
+                    else {}
+                ),
             )
         )
 
@@ -186,6 +215,20 @@ class RunTelemetry:
             return 0.0
         return self.simulated_instructions / self.wall_seconds
 
+    @property
+    def fast_path_accesses(self) -> int:
+        return sum(r.fast_path_accesses for r in self.records)
+
+    @property
+    def slow_path_accesses(self) -> int:
+        return sum(r.slow_path_accesses for r in self.records)
+
+    @property
+    def fast_path_share(self) -> float:
+        """Run-wide fraction of L1 accesses the kernel fast path resolved."""
+        total = self.fast_path_accesses + self.slow_path_accesses
+        return self.fast_path_accesses / total if total else 0.0
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -213,6 +256,9 @@ class RunTelemetry:
                 "instructions": self.instructions,
                 "simulated_instructions": self.simulated_instructions,
                 "instructions_per_second": self.throughput,
+                "fast_path_accesses": self.fast_path_accesses,
+                "slow_path_accesses": self.slow_path_accesses,
+                "fast_path_share": self.fast_path_share,
             },
             "jobs": [
                 {
@@ -225,6 +271,11 @@ class RunTelemetry:
                     "cycles": r.cycles,
                     "attempts": r.attempts,
                     "instructions_per_second": r.instructions_per_second,
+                    "kernel_mode": r.kernel_mode,
+                    "fast_path_accesses": r.fast_path_accesses,
+                    "slow_path_accesses": r.slow_path_accesses,
+                    "fast_path_share": r.fast_path_share,
+                    "stage_seconds": dict(r.stage_seconds),
                 }
                 for r in self.records
             ],
@@ -260,6 +311,8 @@ class RunTelemetry:
         if self.simulated:
             mi = self.simulated_instructions / 1e6
             parts.append(f"| {mi:.2f}M instructions at {self.throughput:,.0f} inst/s")
+        if self.fast_path_accesses:
+            parts.append(f"| {100.0 * self.fast_path_share:.1f}% fast-path")
         if self.serial_fallbacks:
             parts.append(f"| {self.serial_fallbacks} serial fallback(s)")
         if self.retries:

@@ -2,47 +2,43 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
 from ..core.energy import ModeEnergyModel
-from ..core.policy import OptDrowsy, OptHybrid, OptSleep
-from ..core.savings import evaluate_policy
+from ..core.stacked import stacked_trio_savings
 from ..power.technology import paper_nodes
 from . import paper_values
 from .reporting import ExperimentResult, Table, fmt_pct
 from .suite import SuiteRunner
 
-#: Table 2 scheme order.
+#: Table 2 scheme order (matches :data:`repro.core.stacked.TRIO_SCHEMES`).
 SCHEMES = ["OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"]
 
 
-def _policies(model: ModeEnergyModel):
-    return {
-        "OPT-Drowsy": OptDrowsy(model, name="OPT-Drowsy"),
-        "OPT-Sleep": OptSleep(model, name="OPT-Sleep"),
-        "OPT-Hybrid": OptHybrid(model),
-    }
-
-
 def compute(suite: SuiteRunner) -> Dict[str, Dict[int, Dict[str, float]]]:
-    """Benchmark-average savings per cache, node and scheme."""
+    """Benchmark-average savings per cache, node and scheme.
+
+    All technology nodes are evaluated in one stacked array pass per
+    benchmark population (float-identical to the former per-node loop).
+    """
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
-    nodes = paper_nodes()
+    ordered = sorted(paper_nodes().items())
+    models = [ModeEnergyModel(node) for _, node in ordered]
     for cache in ("icache", "dcache"):
         populations = suite.intervals_by_benchmark(cache)
-        results[cache] = {}
-        for feature_nm, node in sorted(nodes.items()):
-            model = ModeEnergyModel(node)
-            per_scheme: Dict[str, List[float]] = {name: [] for name in SCHEMES}
-            for annotated in populations.values():
-                for name, policy in _policies(model).items():
-                    report = evaluate_policy(policy, annotated.intervals)
-                    per_scheme[name].append(report.saving_fraction)
-            results[cache][feature_nm] = {
-                name: float(np.mean(vals)) for name, vals in per_scheme.items()
+        grids = [
+            stacked_trio_savings(models, annotated.intervals)
+            for annotated in populations.values()
+        ]
+        results[cache] = {
+            feature_nm: {
+                name: float(np.mean([float(grid[i, j]) for grid in grids]))
+                for i, name in enumerate(SCHEMES)
             }
+            for j, (feature_nm, _) in enumerate(ordered)
+        }
     return results
 
 

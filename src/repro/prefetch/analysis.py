@@ -22,12 +22,14 @@ test suite pins the two simulators to identical timing and statistics.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 import numpy as np
 
 from ..cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from ..cache.kernel import SimulationProfile, kernel_supported, run_batched
 from ..core.intervals import IntervalSet
 from ..cpu.pipeline import IssueClock, PipelineConfig
 from ..cpu.simulator import SimulationResult
@@ -193,6 +195,74 @@ class AnnotatingSimulator:
         if isinstance(trace, TraceChunk):
             trace = (trace,)
 
+        i_annotator = _CacheAnnotator(
+            self.hierarchy.l1i.config.n_lines, self.active_floor
+        )
+        d_annotator = _CacheAnnotator(
+            self.hierarchy.l1d.config.n_lines, self.active_floor
+        )
+        if kernel_supported(self.hierarchy):
+            return self._run_batched(trace, i_annotator, d_annotator)
+        return self._run_scalar(trace, i_annotator, d_annotator)
+
+    def _run_batched(
+        self,
+        trace: Iterable[TraceChunk],
+        i_annotator: "_CacheAnnotator",
+        d_annotator: "_CacheAnnotator",
+    ) -> AnnotatedSimulationResult:
+        """Kernel timing plus a scalar annotation replay per chunk.
+
+        The kernel hands each chunk's (block, frame, time) event stream —
+        exactly what the scalar loop would have produced — to observers
+        that replay the annotators and the stride predictor in event
+        order, so flags and predictor state are identical by construction.
+        """
+        hierarchy = self.hierarchy
+        stride_access = self.stride.access
+        i_observe = i_annotator.observe
+        d_observe = d_annotator.observe
+
+        def i_observer(blocks, frames, times):
+            for block, frame, when in zip(
+                blocks.tolist(), frames.tolist(), times.tolist()
+            ):
+                i_observe(block, frame, when, False)
+
+        def d_observer(blocks, frames, times, pcs, addrs, stores):
+            for block, frame, when, pc, address, is_store in zip(
+                blocks.tolist(), frames.tolist(), times.tolist(),
+                pcs.tolist(), addrs.tolist(), stores.tolist(),
+            ):
+                d_observe(
+                    block, frame, when,
+                    False if is_store else stride_access(pc, address),
+                )
+
+        outcome = run_batched(
+            hierarchy, self.clock, trace, i_observer, d_observer
+        )
+        result = SimulationResult(
+            cycles=outcome.cycles,
+            instructions=outcome.instructions,
+            stall_cycles=outcome.stall_cycles,
+            l1i_intervals=hierarchy.l1i.intervals(),
+            l1d_intervals=hierarchy.l1d.intervals(),
+            stats=hierarchy.stats(),
+            profile=outcome.profile,
+        )
+        return AnnotatedSimulationResult(
+            result=result,
+            l1i=i_annotator.finish(result.l1i_intervals),
+            l1d=d_annotator.finish(result.l1d_intervals),
+        )
+
+    def _run_scalar(
+        self,
+        trace: Iterable[TraceChunk],
+        i_annotator: "_CacheAnnotator",
+        d_annotator: "_CacheAnnotator",
+    ) -> AnnotatedSimulationResult:
         hierarchy = self.hierarchy
         clock = self.clock
         config = clock.config
@@ -207,11 +277,10 @@ class AnnotatingSimulator:
         store_buffer = config.store_buffer
         issue = clock.issue
         stall = clock.stall
-        i_annotator = _CacheAnnotator(l1i.config.n_lines, self.active_floor)
-        d_annotator = _CacheAnnotator(l1d.config.n_lines, self.active_floor)
         stride_access = self.stride.access
         group_bits = config.fetch_group_bytes.bit_length() - 1
         prev_igroup = -1
+        started = _time.perf_counter()
 
         for chunk in trace:
             pcs = chunk.pcs
@@ -252,6 +321,7 @@ class AnnotatingSimulator:
 
         end_time = clock.cycle + 1
         hierarchy.finish(end_time)
+        accesses = hierarchy.l1i.stats.accesses + hierarchy.l1d.stats.accesses
         result = SimulationResult(
             cycles=end_time,
             instructions=clock.instructions,
@@ -259,6 +329,12 @@ class AnnotatingSimulator:
             l1i_intervals=hierarchy.l1i.intervals(),
             l1d_intervals=hierarchy.l1d.intervals(),
             stats=hierarchy.stats(),
+            profile=SimulationProfile(
+                mode="scalar",
+                fast_path_accesses=0,
+                slow_path_accesses=accesses,
+                stage_seconds={"scalar": _time.perf_counter() - started},
+            ),
         )
         return AnnotatedSimulationResult(
             result=result,

@@ -27,26 +27,18 @@ from typing import Dict, List
 import numpy as np
 
 from ..core.energy import ModeEnergyModel
-from ..core.policy import OptDrowsy, OptHybrid, OptSleep
-from ..core.savings import evaluate_policy
+from ..core.stacked import stacked_trio_savings
 from ..experiments.reporting import Table, fmt_pct
 from ..power.technology import paper_nodes
 from .grid import pipeline_label, suite_contexts, suite_for
 from .spec import SweepSpec
 
-#: Scheme order of every table and CSV row.
+#: Scheme order of every table and CSV row (matches
+#: :data:`repro.core.stacked.TRIO_SCHEMES`).
 SCHEMES = ("OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid")
 
 #: Pseudo-benchmark row carrying the suite mean.
 AVERAGE = "average"
-
-
-def _policies(model: ModeEnergyModel) -> Dict[str, object]:
-    return {
-        "OPT-Drowsy": OptDrowsy(model, name="OPT-Drowsy"),
-        "OPT-Sleep": OptSleep(model, name="OPT-Sleep"),
-        "OPT-Hybrid": OptHybrid(model),
-    }
 
 
 @dataclass(frozen=True)
@@ -87,16 +79,21 @@ def collect(spec: SweepSpec, engine=None) -> SweepResults:
         label = pipeline_label(pipeline)
         for cache in ("icache", "dcache"):
             populations = suite.intervals_by_benchmark(cache)
-            for feature_nm in spec.nodes:
-                model = ModeEnergyModel(nodes[feature_nm])
-                policies = _policies(model)
+            # One stacked pass per benchmark covers every node at once;
+            # cells still come out in the original deterministic order.
+            models = [ModeEnergyModel(nodes[nm]) for nm in spec.nodes]
+            grids = {
+                name: stacked_trio_savings(
+                    models, populations[name].intervals
+                )
+                for name in spec.benchmarks
+            }
+            for column, feature_nm in enumerate(spec.nodes):
                 per_scheme: Dict[str, List[float]] = {s: [] for s in SCHEMES}
                 for name in spec.benchmarks:
-                    intervals = populations[name].intervals
-                    for scheme in SCHEMES:
-                        saving = evaluate_policy(
-                            policies[scheme], intervals
-                        ).saving_fraction
+                    grid = grids[name]
+                    for row, scheme in enumerate(SCHEMES):
+                        saving = float(grid[row, column])
                         per_scheme[scheme].append(saving)
                         cells.append(
                             SweepCell(

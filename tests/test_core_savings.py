@@ -6,7 +6,12 @@ import pytest
 from repro.core.intervals import IntervalSet
 from repro.core.modes import Mode
 from repro.core.policy import AlwaysActive, DecaySleep, OptDrowsy, OptHybrid
-from repro.core.savings import average_saving, evaluate_policies, evaluate_policy
+from repro.core.savings import (
+    ModeBreakdown,
+    average_saving,
+    evaluate_policies,
+    evaluate_policy,
+)
 from repro.errors import IntervalError
 
 
@@ -70,6 +75,37 @@ class TestEvaluatePolicy:
     def test_describe_mentions_policy(self, model70, intervals):
         report = evaluate_policy(OptHybrid(model70), intervals)
         assert "OPT-Hybrid" in report.describe()
+
+
+class TestCycleShare:
+    def test_shares_are_fractions_that_partition_the_population(
+        self, model70, intervals
+    ):
+        report = evaluate_policy(OptHybrid(model70), intervals)
+        shares = {
+            mode: entry.cycle_share for mode, entry in report.breakdown.items()
+        }
+        assert all(0.0 <= share <= 1.0 for share in shares.values())
+        assert sum(shares.values()) == pytest.approx(1.0)
+        for mode, entry in report.breakdown.items():
+            assert entry.cycle_share == pytest.approx(
+                entry.cycles / intervals.total_cycles
+            )
+
+    def test_share_of_known_split(self, model70):
+        # 3 active + 100 drowsy + 50 000 sleep cycles under OPT-Hybrid.
+        report = evaluate_policy(OptHybrid(model70), IntervalSet([3, 100, 50_000]))
+        total = 50_103
+        assert report.breakdown[Mode.ACTIVE].cycle_share == pytest.approx(3 / total)
+        assert report.breakdown[Mode.SLEEP].cycle_share == pytest.approx(
+            50_000 / total
+        )
+
+    def test_unfilled_total_yields_zero(self):
+        entry = ModeBreakdown(
+            mode=Mode.ACTIVE, interval_count=0, cycles=10, energy=0.0
+        )
+        assert entry.cycle_share == 0.0
 
 
 class TestHelpers:

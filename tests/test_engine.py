@@ -299,7 +299,7 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 3
+        assert manifest["manifest_version"] == 4
         assert manifest["retries"] == []
         assert manifest["faults"] == []
         totals = manifest["totals"]
@@ -318,6 +318,9 @@ class TestTelemetry:
             "instructions",
             "simulated_instructions",
             "instructions_per_second",
+            "fast_path_accesses",
+            "slow_path_accesses",
+            "fast_path_share",
         ):
             assert field in totals
         assert totals["jobs"] == len(SUITE_NAMES)

@@ -1,0 +1,181 @@
+"""Kernel/scalar equivalence: the batched path must be bit-identical.
+
+The batched kernel (``repro.cache.kernel``) exists purely for speed; its
+contract is that every observable quantity — cache statistics, eviction
+counts, interval populations (lengths *and* kinds, in order), timing,
+annotation flags — matches the scalar per-access path exactly.  These
+tests drive random streams and real workloads through both paths and
+compare everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.cache.kernel import BatchedCacheKernel, kernel_supported
+from repro.core.energy import ModeEnergyModel
+from repro.core.intervals import IntervalSet
+from repro.core.policy import OptDrowsy, OptHybrid, OptSleep
+from repro.core.savings import evaluate_policy
+from repro.core.stacked import TRIO_SCHEMES, stacked_trio_savings
+from repro.cpu.simulator import simulate_trace
+from repro.errors import SimulationError
+from repro.power.technology import paper_nodes
+from repro.prefetch.analysis import AnnotatingSimulator, _CacheAnnotator
+from repro.workloads import make_benchmark
+
+POLICIES = ("lru", "fifo", "random")
+ASSOCIATIVITIES = (1, 2, 4)
+
+
+def _small_config(associativity: int) -> CacheConfig:
+    return CacheConfig(
+        name="test",
+        size_bytes=4096,
+        line_bytes=64,
+        associativity=associativity,
+        hit_latency=1,
+    )
+
+
+def _random_stream(rng, n_accesses: int, n_blocks: int):
+    """A blocks/times pair with reuse, conflict pressure and time gaps."""
+    blocks = rng.integers(0, n_blocks, size=n_accesses).astype(np.int64)
+    # Inject runs of repeated blocks so the fast path actually engages.
+    run_starts = rng.integers(0, n_accesses, size=n_accesses // 4)
+    for start in run_starts:
+        end = min(start + int(rng.integers(2, 6)), n_accesses)
+        blocks[start:end] = blocks[start]
+    times = np.cumsum(rng.integers(0, 9, size=n_accesses)).astype(np.int64)
+    return blocks, times
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("associativity", ASSOCIATIVITIES)
+class TestBatchedCacheKernel:
+    def test_matches_scalar_access_path(self, rng, policy, associativity):
+        blocks, times = _random_stream(rng, 4000, 96)
+        end_time = int(times[-1]) + 1
+
+        scalar = SetAssociativeCache(_small_config(associativity), policy)
+        scalar_hits = np.array(
+            [scalar.access_block(int(b), int(t)) for b, t in zip(blocks, times)]
+        )
+        scalar.finish(end_time)
+
+        batched_cache = SetAssociativeCache(_small_config(associativity), policy)
+        kernel = BatchedCacheKernel(batched_cache)
+        # Feed in several chunks to exercise the cross-chunk carries.
+        hits = []
+        for lo in range(0, len(blocks), 1024):
+            hits.append(kernel.access_blocks(blocks[lo:lo + 1024], times[lo:lo + 1024]))
+        kernel.finish(end_time)
+        batched_hits = np.concatenate(hits)
+
+        assert np.array_equal(scalar_hits, batched_hits)
+        assert batched_cache.stats == scalar.stats
+        assert batched_cache.stats.evictions == scalar.stats.evictions
+        assert batched_cache.intervals() == scalar.intervals()
+
+    def test_fast_path_engages(self, rng, policy, associativity):
+        blocks, times = _random_stream(rng, 4000, 96)
+        cache = SetAssociativeCache(_small_config(associativity), policy)
+        kernel = BatchedCacheKernel(cache)
+        kernel.access_blocks(blocks, times)
+        fast, slow = kernel.profile_counts
+        assert fast > 0
+        assert fast + slow == len(blocks)
+
+
+class TestBatchedCacheKernelGuards:
+    def test_rejects_used_cache(self):
+        cache = SetAssociativeCache(_small_config(2), "lru")
+        cache.access_block(1, 0)
+        with pytest.raises(SimulationError):
+            BatchedCacheKernel(cache)
+
+    def test_rejects_time_travel(self):
+        cache = SetAssociativeCache(_small_config(2), "lru")
+        kernel = BatchedCacheKernel(cache)
+        with pytest.raises(SimulationError):
+            kernel.access_blocks(
+                np.array([1, 2], dtype=np.int64),
+                np.array([5, 3], dtype=np.int64),
+            )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestSimulatorEquivalence:
+    def test_batched_run_is_bit_identical(self, policy):
+        def run(kernel):
+            return simulate_trace(
+                make_benchmark("gzip", scale=0.02).chunks(),
+                MemoryHierarchy(HierarchyConfig.paper(), replacement=policy),
+                kernel=kernel,
+            )
+
+        scalar, batched = run(False), run(True)
+        assert scalar == batched  # profile is excluded from equality
+        assert scalar.l1i_intervals == batched.l1i_intervals
+        assert scalar.l1d_intervals == batched.l1d_intervals
+        assert batched.profile.mode == "batched"
+        assert batched.profile.fast_path_share > 0.5
+        assert scalar.profile.mode == "scalar"
+
+
+class TestAnnotationEquivalence:
+    def test_flags_identical_across_paths(self):
+        def run(batched):
+            simulator = AnnotatingSimulator()
+            simulator._ran = True
+            annotators = tuple(
+                _CacheAnnotator(cache.config.n_lines, simulator.active_floor)
+                for cache in (simulator.hierarchy.l1i, simulator.hierarchy.l1d)
+            )
+            trace = make_benchmark("gcc", scale=0.02).chunks()
+            runner = simulator._run_batched if batched else simulator._run_scalar
+            return runner(trace, *annotators)
+
+        scalar, batched = run(False), run(True)
+        assert scalar.result == batched.result
+        for cache in ("l1i", "l1d"):
+            a = scalar.annotated_for(cache)
+            b = batched.annotated_for(cache)
+            assert np.array_equal(a.nextline, b.nextline)
+            assert np.array_equal(a.stride, b.stride)
+            assert np.array_equal(a.tail, b.tail)
+
+
+class TestKernelSupport:
+    def test_paper_hierarchy_supported(self):
+        assert kernel_supported(MemoryHierarchy(HierarchyConfig.paper()))
+
+    def test_used_hierarchy_not_supported(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig.paper())
+        hierarchy.fetch_instruction(0, 0)
+        assert not kernel_supported(hierarchy)
+
+
+class TestStackedEvaluation:
+    def test_stacked_matches_per_node_loop_exactly(self, rng):
+        lengths = rng.integers(1, 300_000, size=20_000).astype(np.int64)
+        intervals = IntervalSet(lengths)
+        nodes = paper_nodes()
+        models = [ModeEnergyModel(node) for node in nodes.values()]
+        stacked = stacked_trio_savings(models, intervals)
+        assert stacked.shape == (3, len(models))
+        for column, model in enumerate(models):
+            reference = (
+                evaluate_policy(OptDrowsy(model, name="OPT-Drowsy"), intervals),
+                evaluate_policy(OptSleep(model, name="OPT-Sleep"), intervals),
+                evaluate_policy(OptHybrid(model), intervals),
+            )
+            for row, report in enumerate(reference):
+                # Exact float equality, not approx: same elementwise ops,
+                # same contiguous pairwise reductions.
+                assert float(stacked[row, column]) == report.saving_fraction, (
+                    TRIO_SCHEMES[row],
+                    model.node.name,
+                )
