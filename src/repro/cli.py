@@ -17,9 +17,13 @@ The historical flat forms keep working — a bare experiment name implies
     repro-leakage all --resume nightly      # continue after a crash
 
 Simulations go through the execution engine: benchmark jobs fan out over
-worker processes (``--jobs`` / ``REPRO_JOBS``), failed or timed-out jobs
-are retried per job with deterministic backoff (``REPRO_RETRIES`` /
-``REPRO_RETRY_DELAY``), results are cached on disk under
+worker processes (``--jobs`` / ``REPRO_JOBS``) on a supervised backend
+(``--backend`` / ``REPRO_BACKEND``: ``pool`` degrades to ``subprocess``
+workers and then ``serial``, so a run always completes), failed or
+timed-out jobs are retried per job with deterministic backoff
+(``REPRO_RETRIES`` / ``REPRO_RETRY_DELAY``), every fresh result passes
+an invariant-validation gate before caching, results are cached on disk
+under
 ``~/.cache/repro-leakage`` (``REPRO_CACHE_DIR`` overrides,
 ``REPRO_CACHE_MAX_MB`` bounds the size, ``--no-cache`` bypasses), and a
 telemetry footer — exportable as JSON via ``--manifest`` — reports where
@@ -45,6 +49,7 @@ import sys
 from typing import List, Optional
 
 from .engine import (
+    BACKEND_NAMES,
     ExecutionEngine,
     NullStore,
     ResultStore,
@@ -153,6 +158,14 @@ def _add_run_parser(commands) -> None:
         default=None,
         metavar="N",
         help="simulation worker processes (default: REPRO_JOBS or the CPU count)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="primary execution backend (default: REPRO_BACKEND or 'pool'); "
+        "pool degrades to subprocess workers and then serial, so a run "
+        "always completes",
     )
     run.add_argument(
         "--no-cache",
@@ -288,6 +301,11 @@ def _add_sweep_parser(commands) -> None:
         "--jobs", type=int, default=None, metavar="N",
         help="simulation worker processes for this shard",
     )
+    run.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="primary execution backend for this shard "
+        "(default: REPRO_BACKEND or 'pool')",
+    )
     run.set_defaults(handler=sweep_run_command)
 
     status = verbs.add_parser(
@@ -304,6 +322,10 @@ def _add_sweep_parser(commands) -> None:
     merge.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for any points that still need simulating",
+    )
+    merge.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="primary execution backend for any remaining simulations",
     )
     merge.add_argument(
         "--output", default=None, metavar="FILE",
@@ -344,6 +366,12 @@ def cache_command(args) -> int:
     print(
         "size limit:      "
         + ("unbounded" if not limit else f"{limit / (1024 * 1024):.2f} MB")
+    )
+    quarantined = info.get("quarantined", 0)
+    print(
+        f"quarantined:     {quarantined} corrupt "
+        f"entr{'y' if quarantined == 1 else 'ies'}"
+        + (f" (under {store.quarantine_dir})" if quarantined else "")
     )
     sharing = collect_sharing_stats(store.directory)
     if sharing["manifests"]:
@@ -415,6 +443,7 @@ def run_command(args) -> int:
             store=NullStore() if args.no_cache else None,
             journal=journal,
             resume=args.resume is not None,
+            backend=args.backend,
         )
         suite = SuiteRunner(scale=args.scale, benchmarks=benchmarks, engine=engine)
         if args.experiment == "all":
@@ -495,7 +524,7 @@ def sweep_run_command(args) -> int:
     try:
         spec = _spec_from_args(args)
         assignment = ShardAssignment(args.shard_index, args.shard_count)
-        run = run_shard(spec, assignment, jobs=args.jobs)
+        run = run_shard(spec, assignment, jobs=args.jobs, backend=args.backend)
     except ReproError as error:
         return _fail(str(error))
     for line in shard_run_summary(run):
@@ -515,7 +544,7 @@ def sweep_status_command(args) -> int:
 def sweep_merge_command(args) -> int:
     try:
         spec = _spec_from_args(args)
-        outcome = sweep_merge(spec, jobs=args.jobs)
+        outcome = sweep_merge(spec, jobs=args.jobs, backend=args.backend)
     except ReproError as error:
         return _fail(str(error))
     print(outcome.report)

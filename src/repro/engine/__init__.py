@@ -1,11 +1,15 @@
-"""Execution engine: parallel, fault-tolerant simulation with caching.
+"""Execution engine: supervised, multi-backend, cache-aware simulation.
 
 The substrate under every experiment.  Jobs (:mod:`~repro.engine.jobs`)
 name deterministic simulation points; :class:`ExecutionEngine`
 (:mod:`~repro.engine.parallel`) resolves them through a content-addressed
-on-disk cache (:mod:`~repro.engine.store`), a worker-process pool with
-per-job retry and serial fallback (:mod:`~repro.engine.robustness`,
-:mod:`~repro.engine.retry`), crash-safe run checkpoints
+on-disk cache (:mod:`~repro.engine.store`) and a supervised backend
+chain (:mod:`~repro.engine.backends`,
+:mod:`~repro.engine.supervise`): the worker-process pool, then
+heartbeat-watched subprocess workers, then in-process serial execution,
+with per-job retry (:mod:`~repro.engine.retry`), per-backend circuit
+breakers, an invariant-validation gate on every fresh result
+(:mod:`~repro.engine.validate`), crash-safe run checkpoints
 (:mod:`~repro.engine.checkpoint`), and run telemetry
 (:mod:`~repro.engine.telemetry`).  A deterministic fault-injection
 harness (:mod:`~repro.engine.faults`, off unless ``REPRO_FAULTS`` is
@@ -15,12 +19,25 @@ Quickstart::
 
     from repro.engine import ExecutionEngine, SimulationJob
 
-    engine = ExecutionEngine(jobs=4)
+    engine = ExecutionEngine(jobs=4, backend="subprocess")
     outcomes = engine.run([SimulationJob("gzip", scale=0.25),
                            SimulationJob("ammp", scale=0.25)])
     print(engine.telemetry.summary())
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    ENV_BACKEND,
+    ENV_HEARTBEAT,
+    ENV_WATCHDOG,
+    PoolBackend,
+    SubprocessBackend,
+    WorkerBackend,
+    build_chain,
+    default_heartbeat_interval,
+    default_watchdog,
+    resolve_backend_name,
+)
 from .checkpoint import (
     RUNS_SUBDIR,
     SWEEPS_SUBDIR,
@@ -33,6 +50,7 @@ from .checkpoint import (
 from .faults import (
     CRASH_EXIT_CODE,
     ENV_FAULTS,
+    FLAP_EXIT_CODE,
     FaultPlan,
     FaultSpec,
     InjectedFault,
@@ -46,6 +64,8 @@ from .jobs import (
     SOURCE_FALLBACK,
     SOURCE_PARALLEL,
     SOURCE_SERIAL,
+    SOURCE_SUBPROCESS,
+    SOURCE_SUBPROCESS_FALLBACK,
     JobOutcome,
     SimulationJob,
     execute_job,
@@ -72,26 +92,45 @@ from .store import (
     resolve_cache_dir,
     resolve_cache_limit,
 )
+from .supervise import (
+    ENV_BREAKER_COOLDOWN,
+    ENV_BREAKER_THRESHOLD,
+    CircuitBreaker,
+    Supervisor,
+    default_breaker_cooldown,
+    default_breaker_threshold,
+)
 from .telemetry import MANIFEST_VERSION, JobRecord, RunTelemetry, Stopwatch
+from .validate import InvalidResultError, check_result
 
 __all__ = [
+    "BACKEND_NAMES",
     "CRASH_EXIT_CODE",
+    "CircuitBreaker",
     "DEFAULT_CACHE_DIR",
+    "ENV_BACKEND",
+    "ENV_BREAKER_COOLDOWN",
+    "ENV_BREAKER_THRESHOLD",
     "ENV_CACHE_DIR",
     "ENV_CACHE_MAX_MB",
     "ENV_FAULTS",
+    "ENV_HEARTBEAT",
     "ENV_JOBS",
     "ENV_JOB_TIMEOUT",
     "ENV_RETRIES",
     "ENV_RETRY_DELAY",
+    "ENV_WATCHDOG",
     "ExecutionEngine",
+    "FLAP_EXIT_CODE",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "InvalidResultError",
     "JobOutcome",
     "JobRecord",
     "MANIFEST_VERSION",
     "NullStore",
+    "PoolBackend",
     "PoolReport",
     "ResultStore",
     "RUNS_SUBDIR",
@@ -103,19 +142,31 @@ __all__ = [
     "SOURCE_FALLBACK",
     "SOURCE_PARALLEL",
     "SOURCE_SERIAL",
+    "SOURCE_SUBPROCESS",
+    "SOURCE_SUBPROCESS_FALLBACK",
     "SWEEPS_SUBDIR",
     "SimulationJob",
     "Stopwatch",
+    "SubprocessBackend",
+    "Supervisor",
+    "WorkerBackend",
     "active_plan",
     "apply_store_fault",
     "atomic_write_json",
     "attempt_parallel",
+    "build_chain",
+    "check_result",
     "collect_sharing_stats",
+    "default_breaker_cooldown",
+    "default_breaker_threshold",
+    "default_heartbeat_interval",
     "default_job_timeout",
     "default_retry_policy",
+    "default_watchdog",
     "execute_job",
     "iter_run_manifests",
     "parse_fault_plan",
+    "resolve_backend_name",
     "resolve_cache_dir",
     "resolve_cache_limit",
     "resolve_worker_count",

@@ -13,10 +13,13 @@ reproducible.
 ``REPRO_FAULTS`` grammar — a comma-separated list of specs::
 
     spec    := kind ":" target [":" option "=" value]...
-    kind    := crash | timeout | raise | corrupt | partial
+    kind    := crash | timeout | raise | hang | flap | garbage
+             | corrupt | partial
     target  := benchmark["@"scale]      ("*" wildcards either part)
-    option  := attempt=N|*   (worker faults; which attempt fires, default 1)
-             | seconds=X     (crash/timeout: sleep before acting, default 5)
+    option  := attempt=N|*   (worker/result faults; which attempt fires,
+                              default 1; flap defaults to every attempt)
+             | seconds=X     (crash/timeout/hang: sleep before acting,
+                              default 5 for timeout/hang, 0 for crash)
              | times=N       (store faults: how many injections, default 1)
 
 Examples: ``raise:gzip@*:attempt=1`` (gzip's first attempt raises, the
@@ -36,15 +39,28 @@ Fault kinds and the degradation path each one exercises:
   accounting.
 * ``raise``   — the attempt raises :class:`InjectedFault`: exercises
   per-job retry with backoff (pool and serial paths).
+* ``hang``    — the worker goes silent: its heartbeat stops and it
+  stalls ``seconds`` before continuing.  Exercises the supervisor's
+  heartbeat watchdog (subprocess backend: the worker is killed and the
+  job requeued) and the pool's progress watchdog.
+* ``flap``    — the worker process exits hard on *every* matching
+  attempt (unless ``attempt=N`` narrows it): exercises the per-backend
+  circuit breaker, which must eventually stop handing work to a backend
+  whose workers keep dying.
+* ``garbage`` — the worker completes but returns a mangled result
+  (negative cycle counts): exercises the invariant-validation gate,
+  which must quarantine the result instead of caching it.
 * ``corrupt`` — the just-written cache entry's payload bytes are
-  flipped: exercises checksum validation and evict-on-corruption.
+  flipped: exercises checksum validation and quarantine-on-corruption.
 * ``partial`` — the just-written cache entry is truncated: exercises
   the torn-write path (header or checksum no longer parse).
 
-``crash`` and ``timeout`` only make sense inside a worker process; on
-the serial in-process path only ``raise`` faults are injected (a serial
-crash would take the whole run down, which is the one thing the engine
-promises never to do deliberately).
+``crash``, ``timeout``, ``hang`` and ``flap`` only make sense inside a
+worker process; on the serial in-process path only ``raise`` faults are
+injected (a serial crash would take the whole run down, which is the one
+thing the engine promises never to do deliberately) plus ``garbage``
+result mangling, which the validation gate turns into a retryable
+failure.
 """
 
 from __future__ import annotations
@@ -62,11 +78,18 @@ ENV_FAULTS = "REPRO_FAULTS"
 #: Exit status used by injected worker crashes (recognisable in logs).
 CRASH_EXIT_CODE = 87
 
-WORKER_KINDS = ("crash", "timeout", "raise")
-STORE_KINDS = ("corrupt", "partial")
-KINDS = WORKER_KINDS + STORE_KINDS
+#: Exit status used by injected worker flapping (distinct from crashes).
+FLAP_EXIT_CODE = 86
 
-#: Default sleep for ``crash``/``timeout`` faults, seconds.
+WORKER_KINDS = ("crash", "timeout", "raise", "hang", "flap")
+RESULT_KINDS = ("garbage",)
+STORE_KINDS = ("corrupt", "partial")
+KINDS = WORKER_KINDS + RESULT_KINDS + STORE_KINDS
+
+#: Kinds whose pre-action sleep defaults to :data:`DEFAULT_FAULT_SECONDS`.
+_SLEEPY_KINDS = ("timeout", "hang")
+
+#: Default sleep for ``timeout``/``hang`` faults, seconds.
 DEFAULT_FAULT_SECONDS = 5.0
 
 
@@ -113,7 +136,7 @@ class FaultSpec:
         """The pre-action sleep: explicit, else 5 s for timeout, 0 otherwise."""
         if self.seconds is not None:
             return self.seconds
-        return DEFAULT_FAULT_SECONDS if self.kind == "timeout" else 0.0
+        return DEFAULT_FAULT_SECONDS if self.kind in _SLEEPY_KINDS else 0.0
 
     def matches_job(self, job) -> bool:
         """Whether this spec targets ``job`` (ignoring the attempt)."""
@@ -133,9 +156,9 @@ class FaultSpec:
         """Canonical spec string (round-trips through the parser)."""
         target = f"{self.benchmark}@{self.scale}" if self.scale != "*" else self.benchmark
         parts = [f"{self.kind}:{target}"]
-        if self.kind in WORKER_KINDS:
+        if self.kind in WORKER_KINDS + RESULT_KINDS:
             parts.append(f"attempt={'*' if self.attempt is None else self.attempt}")
-            if self.kind in ("crash", "timeout"):
+            if self.kind in ("crash", "timeout", "hang", "flap"):
                 parts.append(f"seconds={self.sleep_seconds:g}")
         else:
             parts.append(f"times={self.times}")
@@ -188,10 +211,13 @@ def _parse_spec(text: str) -> FaultSpec:
         raise EngineError(
             f"fault spec {text!r}: 'attempt' only applies to worker faults"
         )
-    if kind in WORKER_KINDS and "times" in kwargs:
+    if kind not in STORE_KINDS and "times" in kwargs:
         raise EngineError(
             f"fault spec {text!r}: 'times' only applies to store faults"
         )
+    if kind == "flap":
+        # Flapping means dying over and over: default to every attempt.
+        kwargs.setdefault("attempt", None)
     return FaultSpec(**kwargs)
 
 
@@ -235,16 +261,50 @@ class FaultPlan:
         for spec in self.specs:
             if spec.kind not in WORKER_KINDS or not spec.matches(job, attempt):
                 continue
-            if spec.kind == "timeout":
+            if spec.kind in ("timeout", "hang"):
                 time.sleep(spec.sleep_seconds)
             elif spec.kind == "crash":
                 if spec.sleep_seconds:
                     time.sleep(spec.sleep_seconds)
                 os._exit(CRASH_EXIT_CODE)
+            elif spec.kind == "flap":
+                if spec.sleep_seconds:
+                    time.sleep(spec.sleep_seconds)
+                os._exit(FLAP_EXIT_CODE)
             else:  # raise
                 raise InjectedFault(
                     f"injected fault for {job.describe()} on attempt {attempt}"
                 )
+
+    def matches_hang(self, job, attempt: int) -> bool:
+        """Whether a ``hang`` fault fires for this (job, attempt).
+
+        The subprocess worker checks this *before* :meth:`inject_worker`
+        so it can silence its heartbeat thread first — a truly hung
+        worker stops beating, which is exactly what the watchdog detects.
+        """
+        return any(
+            spec.kind == "hang" and spec.matches(job, attempt)
+            for spec in self.specs
+        )
+
+    def mangle_result(self, job, attempt: int, annotated):
+        """Apply ``garbage`` faults: poison an otherwise-complete result.
+
+        The mangled result violates the model's invariants (negative
+        cycle counts, intervals longer than the run) so the validation
+        gate must reject it; everything else about the payload stays
+        intact, proving the gate — not luck — caught it.
+        """
+        for spec in self.specs:
+            if spec.kind == "garbage" and spec.matches(job, attempt):
+                from dataclasses import replace
+
+                poisoned = replace(
+                    annotated.result, cycles=-1, stall_cycles=-1
+                )
+                return replace(annotated, result=poisoned)
+        return annotated
 
     def inject_serial(self, job, attempt: int) -> None:
         """Apply ``raise`` faults on the in-process serial path."""

@@ -37,6 +37,8 @@ SOURCE_CACHED = "cached"
 SOURCE_PARALLEL = "parallel"
 SOURCE_SERIAL = "serial"
 SOURCE_FALLBACK = "serial-fallback"
+SOURCE_SUBPROCESS = "subprocess"
+SOURCE_SUBPROCESS_FALLBACK = "subprocess-fallback"
 
 
 @dataclass(frozen=True)

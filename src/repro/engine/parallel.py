@@ -6,21 +6,27 @@ uses to obtain simulation results.  For every requested job it
 1. consults the on-disk :class:`~repro.engine.store.ResultStore`
    (content-addressed by job parameters — a warm cache run performs zero
    simulations);
-2. fans the misses out over a ``ProcessPoolExecutor`` sized by
-   ``--jobs`` / ``REPRO_JOBS`` / ``os.cpu_count()``, where each failed
-   or timed-out job is retried by itself with deterministic backoff
-   (:mod:`~repro.engine.robustness`, :mod:`~repro.engine.retry`) before
-   anything falls back to serial in-process execution;
-3. writes fresh results back to the store, journals them in the run
+2. hands the misses to a :class:`~repro.engine.supervise.Supervisor`
+   that dispatches them down a backend chain
+   (:mod:`~repro.engine.backends`, selected by ``--backend`` /
+   ``REPRO_BACKEND``): the process pool, then heartbeat-supervised
+   subprocess workers, then — always — the in-process serial executor,
+   with per-backend circuit breakers and per-job retry backoff
+   (:mod:`~repro.engine.retry`) deciding how work degrades;
+3. passes every fresh result through the invariant-validation gate
+   (:mod:`~repro.engine.validate`) — a result that violates the model's
+   own accounting identities is quarantined and recomputed, never
+   cached;
+4. writes validated results back to the store, journals them in the run
    checkpoint when one is attached (:mod:`~repro.engine.checkpoint`),
    and records everything — outcomes, retries, injected faults,
-   degradation notes — in a
+   heartbeat/watchdog events, breaker transitions, quarantines — in a
    :class:`~repro.engine.telemetry.RunTelemetry`.
 
 Because :func:`~repro.engine.jobs.execute_job` is deterministic, serial,
-parallel, retried, resumed, and fault-injected runs all produce
-bit-identical results; the engine only changes *when* and *where*
-simulations run, never what they compute.
+parallel, subprocess, retried, resumed, and fault-injected runs all
+produce bit-identical results; the engine only changes *when* and
+*where* simulations run, never what they compute.
 """
 
 from __future__ import annotations
@@ -30,21 +36,23 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
+from .backends import build_chain, default_watchdog, resolve_backend_name
 from .checkpoint import RunJournal
 from .faults import FaultPlan, active_plan, apply_store_fault
 from .jobs import (
     SOURCE_CACHED,
     SOURCE_FALLBACK,
-    SOURCE_PARALLEL,
     SOURCE_SERIAL,
     JobOutcome,
     SimulationJob,
     execute_job,
 )
 from .retry import RetryPolicy, default_retry_policy
-from .robustness import attempt_parallel, default_job_timeout
+from .robustness import default_job_timeout
 from .store import ResultStore
+from .supervise import Supervisor
 from .telemetry import RunTelemetry, Stopwatch
+from .validate import InvalidResultError, check_result
 
 #: Environment variable supplying the default worker count.
 ENV_JOBS = "REPRO_JOBS"
@@ -91,6 +99,7 @@ class ExecutionEngine:
         faults: Optional[FaultPlan] = None,
         journal: Optional[RunJournal] = None,
         resume: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.max_workers = resolve_worker_count(jobs)
         self.store = store if store is not None else ResultStore()
@@ -98,6 +107,16 @@ class ExecutionEngine:
         self.telemetry = telemetry if telemetry is not None else RunTelemetry()
         self.retry = retry if retry is not None else default_retry_policy()
         self.faults = faults if faults is not None else active_plan()
+        self.backend = resolve_backend_name(backend)
+        self.supervisor = Supervisor(
+            build_chain(
+                self.backend,
+                self.max_workers,
+                self.timeout,
+                watchdog=default_watchdog(),
+            ),
+            self.retry,
+        )
         self.journal = journal
         self._journaled: set = set()
         if journal is not None and resume:
@@ -109,6 +128,8 @@ class ExecutionEngine:
         self.telemetry.context.update(
             {
                 "max_workers": self.max_workers,
+                "backend": self.backend,
+                "backend_chain": self.supervisor.describe_chain() + ["serial"],
                 "cache_dir": self.store.describe(),
                 "timeout_seconds": self.timeout,
                 "retry": self.retry.describe(),
@@ -183,47 +204,66 @@ class ExecutionEngine:
         pending: List[SimulationJob],
         outcomes: Dict[SimulationJob, JobOutcome],
     ) -> None:
-        pool_attempted = self.max_workers > 1 and len(pending) > 1
-        pool_attempts: Dict[SimulationJob, int] = {}
-        if pool_attempted:
-            report = attempt_parallel(
-                pending, self.max_workers, self.timeout, policy=self.retry
-            )
-            for note in report.notes:
-                self.telemetry.note(note)
-            for entry in report.retries:
-                self.telemetry.record_retry(entry)
-            for job, (annotated, wall) in report.completed.items():
-                outcomes[job] = JobOutcome(
-                    job,
-                    annotated,
-                    SOURCE_PARALLEL,
-                    wall,
-                    attempts=report.attempts.get(job, 1),
-                )
-                self._commit(job, annotated)
-            leftovers = report.leftovers
-            pool_attempts = report.attempts
-        else:
-            leftovers = pending
+        dispatch = self.supervisor.dispatch(pending)
+        for note in dispatch.notes:
+            self.telemetry.note(note)
+        for entry in dispatch.retries:
+            self.telemetry.record_retry(entry)
+        for entry in dispatch.heartbeats:
+            self.telemetry.record_heartbeat(entry)
 
-        source = SOURCE_FALLBACK if pool_attempted else SOURCE_SERIAL
-        for job in leftovers:
-            annotated, seconds, attempts = self._execute_serial(job)
+        # Serial work: (job, attempts already consumed, outcome source).
+        base_source = SOURCE_FALLBACK if dispatch.engaged else SOURCE_SERIAL
+        serial_work: List[Tuple[SimulationJob, int, str]] = [
+            (job, start, base_source) for job, start in dispatch.leftovers
+        ]
+        for job, completion in dispatch.completed.items():
+            violations = check_result(completion.annotated)
+            if violations:
+                # Never cache an invalid result: quarantine it and give
+                # the job to the serial path, where the gate re-checks.
+                self.telemetry.record_quarantine(
+                    job, violations, where=completion.source
+                )
+                self.telemetry.note(
+                    f"job {job.describe()} result failed the validation "
+                    f"gate ({violations[0]}); quarantined, re-running "
+                    "serially"
+                )
+                serial_work.append((job, completion.attempts, SOURCE_FALLBACK))
+                continue
             outcomes[job] = JobOutcome(
                 job,
-                annotated,
-                source,
-                seconds,
-                attempts=pool_attempts.get(job, 0) + attempts,
+                completion.annotated,
+                completion.source,
+                completion.wall_seconds,
+                attempts=completion.attempts,
             )
-            self._commit(job, annotated)
+            self._commit(job, completion.annotated)
+
+        try:
+            for job, start, source in serial_work:
+                annotated, seconds, attempts = self._execute_serial(
+                    job, start_attempt=start
+                )
+                outcomes[job] = JobOutcome(
+                    job, annotated, source, seconds, attempts=attempts
+                )
+                self._commit(job, annotated)
+        finally:
+            self.telemetry.record_breakers(self.supervisor.snapshot())
 
     def _execute_serial(
-        self, job: SimulationJob
+        self, job: SimulationJob, start_attempt: int = 0
     ) -> Tuple[object, float, int]:
-        """One job in-process, retried per the policy; raises when exhausted."""
-        attempt = 0
+        """One job in-process, retried per the policy; raises when exhausted.
+
+        ``start_attempt`` continues the global attempt numbering of
+        whatever backends already tried this job, so deterministic fault
+        schedules and the retry budget span the degradation path; the
+        returned attempt count is the global total.
+        """
+        attempt = start_attempt
         while True:
             attempt += 1
             try:
@@ -231,6 +271,19 @@ class ExecutionEngine:
                     self.faults.inject_serial(job, attempt)
                 with Stopwatch() as sw:
                     annotated = execute_job(job)
+                if self.faults is not None:
+                    annotated = self.faults.mangle_result(
+                        job, attempt, annotated
+                    )
+                violations = check_result(annotated)
+                if violations:
+                    self.telemetry.record_quarantine(
+                        job, violations, where="serial"
+                    )
+                    raise InvalidResultError(
+                        f"result for {job.describe()} failed the "
+                        f"validation gate: {violations[0]}"
+                    )
                 return annotated, sw.seconds, attempt
             except Exception as error:
                 if self.retry.retries_left(attempt):

@@ -82,7 +82,10 @@ def _worker(job: SimulationJob, attempt: int = 1):
         plan.inject_worker(job, attempt)
     start = time.perf_counter()
     annotated = execute_job(job)
-    return annotated, time.perf_counter() - start
+    wall = time.perf_counter() - start
+    if plan is not None:
+        annotated = plan.mangle_result(job, attempt, annotated)
+    return annotated, wall
 
 
 @dataclass
@@ -90,10 +93,19 @@ class PoolReport:
     """Everything one :func:`attempt_parallel` call did and left behind.
 
     ``completed[job]`` is an ``(annotated_result, worker_wall_seconds)``
-    pair; ``leftovers`` must be run serially by the caller; ``attempts``
-    counts pool attempts per job (so the serial path can report a total);
-    ``retries`` are structured records for telemetry and ``notes`` are
-    the matching human-readable degradation messages.
+    pair; ``leftovers`` must be run by the next backend (or serially by
+    the caller); ``attempts`` counts attempts per job (so later stages
+    can continue the global numbering); ``retries`` are structured
+    records for telemetry and ``notes`` are the matching human-readable
+    degradation messages.
+
+    For the supervisor, ``exhausted`` lists jobs whose retry budget is
+    spent (they should skip straight to the terminal serial attempt),
+    ``infra_failures`` describes *infrastructure* breakdowns — worker
+    deaths, a broken pool, watchdog stalls, as opposed to per-job
+    errors — which feed the backend's circuit breaker, and
+    ``heartbeats`` carries watchdog/heartbeat-gap records for the run
+    manifest.
     """
 
     completed: Dict[SimulationJob, Tuple[object, float]] = field(
@@ -103,6 +115,9 @@ class PoolReport:
     attempts: Dict[SimulationJob, int] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
     retries: List[Dict] = field(default_factory=list)
+    exhausted: List[SimulationJob] = field(default_factory=list)
+    infra_failures: List[str] = field(default_factory=list)
+    heartbeats: List[Dict] = field(default_factory=list)
 
 
 def attempt_parallel(
@@ -111,15 +126,21 @@ def attempt_parallel(
     timeout: Optional[float] = None,
     worker: Callable = _worker,
     policy: Optional[RetryPolicy] = None,
+    watchdog: Optional[float] = None,
 ) -> PoolReport:
     """Run jobs on a process pool, retrying per job and surviving the pool.
 
     A failed or timed-out job is requeued by itself (deterministic
     exponential backoff, ``policy.max_attempts`` total tries); the pool
     is only given up when it breaks (a worker died), when every slot is
-    stuck on a timed-out job, or when nothing retryable remains.  On the
-    way out every future that already finished is harvested so no
-    completed work is re-simulated serially.
+    stuck on a timed-out job, when the ``watchdog`` (seconds without any
+    job finishing while work is in flight) declares it stalled, or when
+    nothing retryable remains.  On the way out every future that already
+    finished is harvested so no completed work is re-simulated serially.
+
+    Pool workers cannot emit heartbeats (``ProcessPoolExecutor`` owns
+    their stdio), so the watchdog here is progress-based; per-worker
+    heartbeats need the subprocess backend.
     """
     policy = policy if policy is not None else default_retry_policy()
     report = PoolReport()
@@ -130,6 +151,7 @@ def attempt_parallel(
         report.notes.append(
             f"worker pool failed to start ({error}); running serially"
         )
+        report.infra_failures.append(f"pool failed to start: {error}")
         report.leftovers = list(jobs)
         return report
 
@@ -167,11 +189,13 @@ def attempt_parallel(
                 f"(attempt {attempt + 1}/{policy.max_attempts}) in {delay:g}s"
             )
         else:
+            report.exhausted.append(job)
             report.notes.append(
                 f"job {job.describe()} {what}; retries exhausted after "
                 f"{attempt} attempt(s), finishing serially"
             )
 
+    last_progress = time.monotonic()
     try:
         while ready or delayed or in_flight:
             now = time.monotonic()
@@ -188,6 +212,7 @@ def attempt_parallel(
                     continue  # its retry is already scheduled
                 if job not in report.completed:
                     report.completed[job] = (annotated, wall)
+                    last_progress = time.monotonic()
                     report.notes.append(
                         f"job {job.describe()} finished after its timeout; "
                         "late result harvested"
@@ -203,6 +228,9 @@ def attempt_parallel(
                     report.notes.append(
                         f"worker pool broke on submit ({error}); "
                         "finishing serially"
+                    )
+                    report.infra_failures.append(
+                        f"pool broke on submit: {error}"
                     )
                     broken = True
                     break
@@ -222,6 +250,10 @@ def attempt_parallel(
                         "timed-out jobs; abandoning the pool and finishing "
                         "serially"
                     )
+                    report.infra_failures.append(
+                        f"all {pool_size} worker slot(s) stuck on "
+                        "timed-out jobs"
+                    )
                     break
                 if not ready:
                     break
@@ -235,12 +267,16 @@ def attempt_parallel(
                 horizon.append(delayed[0][0])
             if zombies:
                 horizon.append(time.monotonic() + _ZOMBIE_POLL_SECONDS)
+            if watchdog is not None:
+                horizon.append(last_progress + watchdog)
             wait_timeout = (
                 max(0.0, min(horizon) - time.monotonic()) if horizon else None
             )
             done, _ = wait(
                 list(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
             )
+            if done:
+                last_progress = time.monotonic()
             for future in done:
                 job, attempt, _ = in_flight.pop(future)
                 try:
@@ -249,6 +285,9 @@ def attempt_parallel(
                     report.notes.append(
                         "a worker process died; harvesting finished results "
                         "and finishing serially"
+                    )
+                    report.infra_failures.append(
+                        f"worker process died running {job.describe()}"
                     )
                     broken = True
                     continue
@@ -265,6 +304,33 @@ def attempt_parallel(
             if broken:
                 break
             now = time.monotonic()
+            if (
+                watchdog is not None
+                and in_flight
+                and now - last_progress >= watchdog
+            ):
+                gap = now - last_progress
+                stuck = sorted(
+                    job.describe() for (job, _, _) in in_flight.values()
+                )
+                report.notes.append(
+                    f"pool made no progress for {gap:.1f}s (watchdog "
+                    f"{watchdog:g}s) with {len(stuck)} job(s) in flight; "
+                    "abandoning the pool and finishing elsewhere"
+                )
+                report.infra_failures.append(
+                    f"watchdog stall: no progress for {gap:.1f}s"
+                )
+                report.heartbeats.append(
+                    {
+                        "backend": "pool",
+                        "kind": "stall",
+                        "gap_seconds": round(gap, 3),
+                        "jobs": stuck,
+                    }
+                )
+                broken = True
+                break
             for future in [
                 f
                 for f, (_, _, deadline) in in_flight.items()

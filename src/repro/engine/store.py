@@ -8,10 +8,15 @@ file is a one-line JSON header followed by the pickled payload::
     {"schema_version": 1, "checksum": "<sha256 of payload bytes>"}\\n
     <pickle bytes>
 
-Reads validate both fields before unpickling: a schema-version mismatch
-(the substrate changed and :data:`~repro.engine.jobs.SCHEMA_VERSION` was
-bumped) or a checksum mismatch (truncated or corrupted file) evicts the
-entry and reports a miss, so the engine transparently recomputes.  Writes
+Reads validate both fields before unpickling.  A schema-version mismatch
+with an intact checksum is a lifecycle event — the substrate changed and
+:data:`~repro.engine.jobs.SCHEMA_VERSION` was bumped — so the stale
+entry is simply evicted.  A checksum mismatch, unparseable header, or
+unpicklable payload is *corruption*: the damaged file is moved into a
+``quarantine/`` subdirectory (preserving the evidence instead of
+silently deleting it), counted, and reported as a miss so the engine
+transparently recomputes.  Quarantine counts surface in the run manifest
+and ``repro-leakage cache info``.  Writes
 go through a temporary file and an atomic rename, so a crashed or
 interrupted run never leaves a half-written entry behind; write failures
 (read-only or full disk) degrade to running uncached rather than raising.
@@ -98,6 +103,9 @@ class ResultStore:
         self.misses = 0
         self.evictions = 0
         self.write_errors = 0
+        self.quarantined = 0
+        #: One record per corrupt entry found, for the run manifest.
+        self.corruption_events: list = []
         #: Cross-run sharing split of ``hits``: entries written by this
         #: store instance (i.e. this run) vs. entries that already existed
         #: — produced by an earlier run or another host sharing the cache.
@@ -108,6 +116,11 @@ class ResultStore:
     def path_for(self, key: str) -> Path:
         """The entry file backing one job key."""
         return self.directory / f"{key}.pkl"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are preserved for post-mortems."""
+        return self.directory / "quarantine"
 
     def get(self, key: str) -> Optional[Any]:
         """The stored payload, or ``None`` on miss/mismatch/corruption."""
@@ -120,16 +133,20 @@ class ResultStore:
         try:
             header_line, _, payload = raw.partition(b"\n")
             header = json.loads(header_line)
-            if header.get("schema_version") != self.schema_version:
-                raise ValueError("schema version mismatch")
             checksum = hashlib.sha256(payload).hexdigest()
             if header.get("checksum") != checksum:
                 raise ValueError("payload checksum mismatch")
+            if header.get("schema_version") != self.schema_version:
+                # Intact but stale: a schema bump, not corruption.  Evict
+                # so the slot is clean for the recomputed result.
+                self.evict(key)
+                self.misses += 1
+                return None
             value = pickle.loads(payload)
-        except Exception:
-            # Stale schema, truncation, bit rot, or an unpicklable payload:
-            # evict so the slot is clean for the recomputed result.
-            self.evict(key)
+        except Exception as error:
+            # Truncation, bit rot, or an unpicklable payload: quarantine
+            # the damaged file (evidence preserved, slot cleaned).
+            self._quarantine(key, f"{type(error).__name__}: {error}")
             self.misses += 1
             return None
         self.hits += 1
@@ -217,11 +234,24 @@ class ResultStore:
         except OSError:
             pass
 
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move one corrupt entry aside and record the event."""
+        self.corruption_events.append({"key": key, "reason": reason})
+        source = self.path_for(key)
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(source, self.quarantine_dir / source.name)
+            self.quarantined += 1
+        except OSError:
+            self.evict(key)  # cannot preserve the evidence; just drop it
+
     def clear(self) -> int:
-        """Remove every entry; returns how many files were deleted."""
+        """Remove every entry (quarantined ones included); returns a count."""
         removed = 0
         try:
-            entries = list(self.directory.glob("*.pkl"))
+            entries = list(self.directory.glob("*.pkl")) + list(
+                self.quarantine_dir.glob("*.pkl")
+            )
         except OSError:
             return 0
         for path in entries:
@@ -246,11 +276,16 @@ class ResultStore:
             except OSError:
                 continue
             entries += 1
+        try:
+            quarantined = len(list(self.quarantine_dir.glob("*.pkl")))
+        except OSError:
+            quarantined = 0
         return {
             "directory": str(self.directory),
             "entries": entries,
             "bytes": total,
             "max_bytes": self.max_bytes,
+            "quarantined": quarantined,
         }
 
     def describe(self) -> str:
@@ -266,6 +301,8 @@ class NullStore:
         self.misses = 0
         self.evictions = 0
         self.write_errors = 0
+        self.quarantined = 0
+        self.corruption_events: list = []
         self.hits_from_this_run = 0
         self.hits_from_earlier_runs = 0
 

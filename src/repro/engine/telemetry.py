@@ -27,8 +27,12 @@ from .jobs import SOURCE_CACHED, JobOutcome
 #: (``cache_hits_from_earlier_runs`` / ``cache_hits_from_this_run``);
 #: version 4 added the simulation-kernel profile: per-job
 #: ``kernel_mode`` / ``fast_path_accesses`` / ``slow_path_accesses`` /
-#: ``stage_seconds`` and the run-level fast-path totals.
-MANIFEST_VERSION = 4
+#: ``stage_seconds`` and the run-level fast-path totals; version 5 added
+#: supervised multi-backend execution: the ``quarantine`` (invalid
+#: results + corrupt cache entries), ``heartbeats`` (watchdog events)
+#: and ``breakers`` (circuit-breaker states and transitions) sections,
+#: their totals, and cache-quarantine counts in the ``store`` section.
+MANIFEST_VERSION = 5
 
 
 class Stopwatch:
@@ -89,6 +93,9 @@ class RunTelemetry:
     retries: List[Dict] = field(default_factory=list)
     faults: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    quarantines: List[Dict] = field(default_factory=list)
+    heartbeats: List[Dict] = field(default_factory=list)
+    breakers: Dict = field(default_factory=dict)
     wall_seconds: float = 0.0
     context: Dict = field(default_factory=dict)
     store_stats: Dict = field(default_factory=dict)
@@ -145,6 +152,26 @@ class RunTelemetry:
         """Add one injected-fault record (engine-side injections)."""
         self.faults.append(description)
 
+    def record_quarantine(self, job, violations, where: str) -> None:
+        """Add one invalid-result quarantine (the validation gate fired)."""
+        self.quarantines.append(
+            {
+                "benchmark": job.benchmark,
+                "scale": float(job.scale),
+                "key": job.key(),
+                "where": where,
+                "violations": [str(v) for v in violations],
+            }
+        )
+
+    def record_heartbeat(self, entry: Dict) -> None:
+        """Add one watchdog event (heartbeat gap or progress stall)."""
+        self.heartbeats.append(dict(entry))
+
+    def record_breakers(self, snapshot: Dict) -> None:
+        """Snapshot the supervisor's circuit breakers (idempotent)."""
+        self.breakers = dict(snapshot)
+
     def note(self, message: str) -> None:
         """Attach a free-form robustness note (pool fallbacks, evictions)."""
         self.notes.append(message)
@@ -161,6 +188,10 @@ class RunTelemetry:
             "misses": int(getattr(store, "misses", 0)),
             "evictions": int(getattr(store, "evictions", 0)),
             "write_errors": int(getattr(store, "write_errors", 0)),
+            "quarantined": int(getattr(store, "quarantined", 0)),
+            "corruption_events": [
+                dict(e) for e in getattr(store, "corruption_events", [])
+            ],
             "hits_from_earlier_runs": int(
                 getattr(store, "hits_from_earlier_runs", 0)
             ),
@@ -193,6 +224,16 @@ class RunTelemetry:
     @property
     def serial_fallbacks(self) -> int:
         return sum(1 for r in self.records if r.source == "serial-fallback")
+
+    @property
+    def fallbacks(self) -> int:
+        """Jobs completed by a degraded path (any ``*-fallback`` source)."""
+        return sum(1 for r in self.records if r.source.endswith("-fallback"))
+
+    @property
+    def breaker_trips(self) -> int:
+        """How many times a backend circuit breaker opened."""
+        return int(self.breakers.get("trips", 0))
 
     @property
     def retried(self) -> int:
@@ -243,9 +284,14 @@ class RunTelemetry:
                 "simulated": self.simulated,
                 "failed": self.failed,
                 "serial_fallbacks": self.serial_fallbacks,
+                "fallbacks": self.fallbacks,
                 "retries": len(self.retries),
                 "retried_jobs": self.retried,
                 "faults_injected": len(self.faults),
+                "quarantined_results": len(self.quarantines),
+                "cache_quarantined": self.store_stats.get("quarantined", 0),
+                "heartbeat_events": len(self.heartbeats),
+                "breaker_trips": self.breaker_trips,
                 "cache_hits_from_earlier_runs": self.store_stats.get(
                     "hits_from_earlier_runs", 0
                 ),
@@ -283,6 +329,9 @@ class RunTelemetry:
             "retries": [dict(r) for r in self.retries],
             "faults": list(self.faults),
             "notes": list(self.notes),
+            "quarantine": [dict(q) for q in self.quarantines],
+            "heartbeats": [dict(h) for h in self.heartbeats],
+            "breakers": dict(self.breakers),
             "store": dict(self.store_stats),
         }
 
@@ -313,12 +362,19 @@ class RunTelemetry:
             parts.append(f"| {mi:.2f}M instructions at {self.throughput:,.0f} inst/s")
         if self.fast_path_accesses:
             parts.append(f"| {100.0 * self.fast_path_share:.1f}% fast-path")
-        if self.serial_fallbacks:
-            parts.append(f"| {self.serial_fallbacks} serial fallback(s)")
+        if self.fallbacks:
+            parts.append(f"| {self.fallbacks} fallback(s)")
         if self.retries:
             parts.append(f"| {len(self.retries)} retr{'y' if len(self.retries) == 1 else 'ies'}")
         if self.faults:
             parts.append(f"| {len(self.faults)} fault(s) injected")
+        quarantined = len(self.quarantines) + self.store_stats.get(
+            "quarantined", 0
+        )
+        if quarantined:
+            parts.append(f"| {quarantined} quarantine(s)")
+        if self.breaker_trips:
+            parts.append(f"| {self.breaker_trips} breaker trip(s)")
         shared = self.store_stats.get("hits_from_earlier_runs", 0)
         if shared:
             parts.append(f"| {shared} hit(s) shared from earlier runs")

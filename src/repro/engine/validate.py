@@ -1,0 +1,235 @@
+"""Result-integrity guardrails: the invariant-validation gate.
+
+Every fresh simulation result — whatever backend produced it — passes
+through :func:`check_result` before it is cached, journaled, or handed
+to an experiment.  The checks are the model's own physics and accounting
+identities, so a worker that silently returns garbage (bit flips, a
+miscompiled numpy, an injected ``garbage`` fault) is caught *here*
+rather than poisoning the content-addressed store every later run and
+every other shard reads from:
+
+* cycle/instruction/stall counts are positive and consistent;
+* per-cache access statistics balance (``hits + misses == accesses``,
+  compulsory misses bounded by misses);
+* interval populations are well-formed: positive lengths no longer than
+  the run, known kinds, annotation flags aligned and disjoint, and a
+  count consistent with the access/eviction counts that generated them;
+* energies derived from the intervals stay inside the oracle envelope:
+  the OPT lower bound lies in ``[0, baseline]`` and a full policy
+  evaluation yields non-negative mode energies whose cycle shares sum
+  to one.
+
+A failing result is *quarantined*: recorded in telemetry (manifest v5's
+``quarantine`` section), never written to the store, and the job is
+re-run.  On the terminal serial path a failing result raises
+:class:`InvalidResultError`, which flows through the ordinary retry
+machinery — a transient mangling is survived, a persistent one surfaces
+as a clean per-job failure instead of a corrupt cache entry.
+
+The gate evaluates the energy checks at one fixed technology node (70 nm,
+the paper's headline node); the envelope identities it asserts are
+node-independent, so one node suffices and the model/policy pair is
+built once and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+
+from ..errors import EngineError, ReproError
+
+#: Technology node (nm) the energy-envelope checks are evaluated at.
+GATE_NODE_NM = 70
+
+#: Absolute tolerance for floating-point identity checks.
+TOLERANCE = 1e-6
+
+#: Slack on the interval-count bound: a cache can close one tail/cold
+#: interval per frame at the end of simulation on top of the per-access
+#: intervals; no configured L1 in this repository has more frames.
+_FRAME_SLACK = 4096
+
+
+class InvalidResultError(EngineError):
+    """A simulation result failed the invariant-validation gate."""
+
+
+@lru_cache(maxsize=1)
+def _gate_context():
+    """The (energy model, reference policy) pair the energy checks use.
+
+    Imported lazily and cached: building the model calibrates re-fetch
+    energies, which is cheap but not free, and the gate runs once per
+    fresh result.
+    """
+    from ..core.energy import ModeEnergyModel
+    from ..core.policy import OptHybrid
+    from ..power.technology import paper_nodes
+
+    model = ModeEnergyModel(paper_nodes()[GATE_NODE_NM])
+    return model, OptHybrid(model)
+
+
+def check_result(annotated) -> List[str]:
+    """Validate one annotated simulation result; returns violations.
+
+    An empty list means the result passes every invariant.  The checks
+    never raise: anything the result's own malformedness breaks is
+    reported as a violation, so a deeply-corrupt payload is quarantined
+    rather than crashing the engine.
+    """
+    try:
+        return _check(annotated)
+    except ReproError as error:
+        return [f"invariant evaluation rejected the result: {error}"]
+    except Exception as error:  # noqa: BLE001 — corrupt payloads may break anything
+        return [
+            f"invariant evaluation crashed: {type(error).__name__}: {error}"
+        ]
+
+
+def _check(annotated) -> List[str]:
+    violations: List[str] = []
+    result = getattr(annotated, "result", None)
+    if result is None:
+        return ["payload carries no simulation result"]
+
+    cycles = int(result.cycles)
+    instructions = int(result.instructions)
+    stalls = int(result.stall_cycles)
+    if cycles <= 0:
+        violations.append(f"cycles must be positive, got {cycles}")
+    if instructions <= 0:
+        violations.append(f"instructions must be positive, got {instructions}")
+    if stalls < 0:
+        violations.append(f"stall cycles must be non-negative, got {stalls}")
+    elif cycles > 0 and stalls > cycles:
+        violations.append(
+            f"stall cycles ({stalls}) exceed total cycles ({cycles})"
+        )
+
+    for cache_name, level in (("l1i", "L1I"), ("l1d", "L1D")):
+        annotations = getattr(annotated, cache_name, None)
+        if annotations is None:
+            violations.append(f"{cache_name}: annotations missing")
+            continue
+        violations.extend(
+            _check_cache(cache_name, level, annotations, result, cycles)
+        )
+    return violations
+
+
+def _check_cache(cache_name, level, annotations, result, cycles) -> List[str]:
+    violations: List[str] = []
+    intervals = annotations.intervals
+    lengths = np.asarray(intervals.lengths)
+    kinds = np.asarray(intervals.kinds)
+    count = len(lengths)
+
+    # Annotation flags: pickling bypasses __post_init__ validation, so a
+    # mangled payload can carry misaligned or overlapping flags.
+    for label in ("nextline", "stride", "tail"):
+        flags = np.asarray(getattr(annotations, label))
+        if flags.shape != (count,):
+            violations.append(
+                f"{cache_name}: {label} flags misaligned with the "
+                f"{count} interval(s)"
+            )
+            return violations
+    if count and bool(np.any(annotations.nextline & annotations.stride)):
+        violations.append(
+            f"{cache_name}: next-line and stride flags overlap"
+        )
+
+    if count:
+        shortest = int(lengths.min())
+        longest = int(lengths.max())
+        if shortest <= 0:
+            violations.append(
+                f"{cache_name}: interval lengths must be positive, "
+                f"got {shortest}"
+            )
+        if cycles > 0 and longest > cycles:
+            violations.append(
+                f"{cache_name}: longest interval ({longest} cycles) "
+                f"exceeds the run ({cycles} cycles)"
+            )
+        if kinds.shape != lengths.shape or int(kinds.max()) > 2:
+            violations.append(f"{cache_name}: unknown interval kinds")
+
+    stats = result.stats.levels.get(level)
+    if stats is None:
+        violations.append(f"{cache_name}: {level} statistics missing")
+        return violations
+    accesses = int(stats.accesses)
+    hits = int(stats.hits)
+    misses = int(stats.misses)
+    evictions = int(stats.evictions)
+    compulsory = int(stats.compulsory_misses)
+    if min(accesses, hits, misses, evictions, compulsory) < 0:
+        violations.append(f"{cache_name}: negative access statistics")
+    elif hits + misses != accesses:
+        violations.append(
+            f"{cache_name}: hits ({hits}) + misses ({misses}) != "
+            f"accesses ({accesses})"
+        )
+    elif compulsory > misses:
+        violations.append(
+            f"{cache_name}: compulsory misses ({compulsory}) exceed "
+            f"misses ({misses})"
+        )
+    # Every interval is closed by an access or by end-of-run cleanup
+    # (at most one dead/cold interval per frame), so a population far
+    # larger than the access stream is fabricated.
+    if count > 2 * max(accesses, 0) + max(evictions, 0) + _FRAME_SLACK:
+        violations.append(
+            f"{cache_name}: {count} interval(s) inconsistent with "
+            f"{accesses} access(es) and {evictions} eviction(s)"
+        )
+
+    if violations or not count:
+        return violations
+    return violations + _check_energy(cache_name, intervals, lengths)
+
+
+def _check_energy(cache_name, intervals, lengths) -> List[str]:
+    from ..core.oracle import oracle_energy
+    from ..core.savings import evaluate_policy
+
+    violations: List[str] = []
+    model, policy = _gate_context()
+    baseline = float(model.active_energy_array(lengths).sum())
+    oracle = float(oracle_energy(model, lengths))
+    if not np.isfinite(baseline) or baseline < 0.0:
+        violations.append(
+            f"{cache_name}: baseline energy is not finite and non-negative "
+            f"({baseline!r})"
+        )
+        return violations
+    if not np.isfinite(oracle) or oracle < -TOLERANCE:
+        violations.append(
+            f"{cache_name}: oracle energy must be non-negative, got {oracle!r}"
+        )
+    elif oracle > baseline * (1.0 + 1e-9) + TOLERANCE:
+        violations.append(
+            f"{cache_name}: oracle energy ({oracle:.3f}) escapes the "
+            f"all-active baseline envelope ({baseline:.3f})"
+        )
+
+    report = evaluate_policy(policy, intervals)
+    breakdown = report.breakdown.values()
+    if any(entry.energy < -TOLERANCE for entry in breakdown):
+        violations.append(f"{cache_name}: negative per-mode energy")
+    share = sum(entry.cycle_share for entry in breakdown)
+    if abs(share - 1.0) > TOLERANCE:
+        violations.append(
+            f"{cache_name}: mode cycle shares sum to {share:.9f}, not 1"
+        )
+    if sum(entry.interval_count for entry in breakdown) != len(intervals):
+        violations.append(
+            f"{cache_name}: mode breakdown drops or duplicates intervals"
+        )
+    return violations

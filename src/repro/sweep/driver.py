@@ -41,9 +41,14 @@ _COUNT_TOTALS = (
     "simulated",
     "failed",
     "serial_fallbacks",
+    "fallbacks",
     "retries",
     "retried_jobs",
     "faults_injected",
+    "quarantined_results",
+    "cache_quarantined",
+    "heartbeat_events",
+    "breaker_trips",
     "cache_hits_from_earlier_runs",
     "cache_hits_from_this_run",
 )
@@ -98,6 +103,7 @@ def run_shard(
     assignment: Optional[ShardAssignment] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
+    backend: Optional[str] = None,
 ) -> ShardRun:
     """Run one shard of the sweep through the execution engine.
 
@@ -116,6 +122,7 @@ def run_shard(
         store=_store_for(cache_dir),
         journal=journal,
         resume=resumed,
+        backend=backend,
     )
     engine.telemetry.context.update(
         {
@@ -186,6 +193,7 @@ def merge(
     spec: SweepSpec,
     jobs: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
+    backend: Optional[str] = None,
 ) -> MergeOutcome:
     """Aggregate every shard's results into the sweep report + manifest.
 
@@ -196,7 +204,9 @@ def merge(
     """
     coordinator = SweepCoordinator(spec, cache_dir)
     coordinator.ensure_spec()
-    engine = ExecutionEngine(jobs=jobs, store=_store_for(cache_dir))
+    engine = ExecutionEngine(
+        jobs=jobs, store=_store_for(cache_dir), backend=backend
+    )
     results = collect(spec, engine=engine)
     report = render_report(results)
     status = coordinator.status()

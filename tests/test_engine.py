@@ -11,7 +11,7 @@ from repro.cpu.pipeline import PipelineConfig
 from repro.engine import (
     SCHEMA_VERSION,
     SOURCE_CACHED,
-    SOURCE_FALLBACK,
+    SOURCE_SUBPROCESS_FALLBACK,
     ExecutionEngine,
     NullStore,
     ResultStore,
@@ -235,21 +235,25 @@ class TestRobustness:
         assert all(r["where"] == "pool" for r in report.retries)
         assert all(report.attempts[job] == 2 for job in jobs)
 
-    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
-        import repro.engine.parallel as parallel_module
+    def test_pool_failure_falls_back_to_subprocess(self, monkeypatch):
+        import repro.engine.robustness as robustness_module
         from repro.engine import PoolReport
 
-        def broken_pool(jobs, max_workers, timeout, worker=None, policy=None):
+        def broken_pool(
+            jobs, max_workers, timeout, worker=None, policy=None, **kwargs
+        ):
             return PoolReport(
                 leftovers=list(jobs),
                 notes=["worker pool failed to start (test)"],
             )
 
-        monkeypatch.setattr(parallel_module, "attempt_parallel", broken_pool)
+        monkeypatch.setattr(robustness_module, "attempt_parallel", broken_pool)
         engine = ExecutionEngine(jobs=2, store=NullStore())
         outcomes = engine.run(small_jobs())
-        assert all(o.source == SOURCE_FALLBACK for o in outcomes.values())
-        assert engine.telemetry.serial_fallbacks == len(outcomes)
+        assert all(
+            o.source == SOURCE_SUBPROCESS_FALLBACK for o in outcomes.values()
+        )
+        assert engine.telemetry.fallbacks == len(outcomes)
         assert any("failed to start" in note for note in engine.telemetry.notes)
 
     def test_timeout_env_validation(self, monkeypatch):
@@ -299,9 +303,11 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 4
+        assert manifest["manifest_version"] == 5
         assert manifest["retries"] == []
         assert manifest["faults"] == []
+        assert manifest["quarantine"] == []
+        assert manifest["heartbeats"] == []
         totals = manifest["totals"]
         for field in (
             "jobs",
@@ -309,9 +315,14 @@ class TestTelemetry:
             "simulated",
             "failed",
             "serial_fallbacks",
+            "fallbacks",
             "retries",
             "retried_jobs",
             "faults_injected",
+            "quarantined_results",
+            "cache_quarantined",
+            "heartbeat_events",
+            "breaker_trips",
             "cache_hits_from_earlier_runs",
             "cache_hits_from_this_run",
             "wall_seconds",
