@@ -1,0 +1,123 @@
+"""Benches: service round-trip latency and request throughput.
+
+Not paper artifacts — these track the serving layer's overhead on top
+of the engine: the cold path (admission + scheduling + one computation),
+the cached path (admission-time answer, no ticket), the coalesced path
+(attach to an in-flight computation), and plain request throughput at
+saturation against a warm endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceThread
+from repro.service.client import ServiceClient
+
+#: Small enough that a cold round-trip is dominated by one simulation.
+SCALE = 0.02
+
+#: Distinct scales so every cold round measures a fresh content address.
+_fresh_scales = itertools.count(1)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One daemon for the whole module, on its own cache directory."""
+    cache = tmp_path_factory.mktemp("service-bench-cache")
+    thread = ServiceThread(
+        ServiceConfig(
+            port=0,
+            jobs=2,
+            backend="serial",
+            cache_dir=str(cache),
+            max_queue=256,
+        )
+    ).start()
+    yield thread
+    thread.stop()
+
+
+def _client(served, name="bench"):
+    return ServiceClient(f"http://127.0.0.1:{served.port}", client=name)
+
+
+def _submit_and_wait(client, spec):
+    response = client.submit_jobs([spec])
+    item = response["items"][0]
+    if item["status"] == "cached":
+        return item["result"]
+    return client.wait(item["ticket"])["result"]["result"]
+
+
+def test_service_cold_round_trip(benchmark, served):
+    """Submit -> schedule -> simulate -> poll for a fresh content address."""
+    client = _client(served)
+
+    def run():
+        scale = SCALE + next(_fresh_scales) * 1e-4
+        return _submit_and_wait(client, {"benchmark": "gzip", "scale": scale})
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result["instructions"] > 10_000
+
+
+def test_service_cached_round_trip(benchmark, served):
+    """A warm content address answers inline at admission time."""
+    client = _client(served)
+    spec = {"benchmark": "gzip", "scale": SCALE}
+    _submit_and_wait(client, spec)  # warm it
+
+    def run():
+        return _submit_and_wait(client, spec)
+
+    result = benchmark.pedantic(run, rounds=10, iterations=1)
+    assert result["instructions"] > 10_000
+
+
+def test_service_coalesced_round_trip(benchmark, served):
+    """Attaching to an in-flight computation and waiting it out."""
+    client = _client(served)
+
+    def run():
+        scale = SCALE + next(_fresh_scales) * 1e-4
+        spec = {"benchmark": "ammp", "scale": scale}
+        leader = threading.Thread(
+            target=_submit_and_wait, args=(_client(served, "leader"), spec)
+        )
+        leader.start()
+        try:
+            return _submit_and_wait(client, spec)
+        finally:
+            leader.join()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result["instructions"] > 10_000
+
+
+def test_service_saturation_requests_per_second(benchmark, served):
+    """Cached submissions from four concurrent clients, end to end."""
+    spec = {"benchmark": "gzip", "scale": SCALE}
+    _submit_and_wait(_client(served), spec)  # warm
+    requests_per_worker = 25
+    workers = 4
+
+    def hammer(index):
+        client = _client(served, f"sat-{index}")
+        for _ in range(requests_per_worker):
+            _submit_and_wait(client, spec)
+
+    def run():
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    total = requests_per_worker * workers
+    benchmark.extra_info["requests"] = total
+    benchmark.extra_info["requests_per_second"] = (
+        total / benchmark.stats.stats.mean
+    )

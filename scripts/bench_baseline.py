@@ -1,10 +1,13 @@
 """Record the substrate performance baseline.
 
-Runs ``benchmarks/bench_substrate.py`` through pytest-benchmark and
-writes the JSON results to ``BENCH_substrate.json`` at the repo root —
-the committed perf trajectory future changes are compared against (the
-batched-kernel acceptance bar was ">= 2x over the recorded
-``test_simulator_throughput`` mean").
+Runs ``benchmarks/bench_substrate.py`` and ``benchmarks/bench_service.py``
+through pytest-benchmark and writes the JSON results to
+``BENCH_substrate.json`` at the repo root — the committed perf
+trajectory future changes are compared against (the batched-kernel
+acceptance bar was ">= 2x over the recorded
+``test_simulator_throughput`` mean"; the service benches track serving
+overhead: cold vs cached vs coalesced round-trips and request
+throughput at saturation).
 
 Usage::
 
@@ -34,6 +37,7 @@ def run_benchmarks(out: Path, keyword: str | None) -> int:
         "-m",
         "pytest",
         str(REPO_ROOT / "benchmarks" / "bench_substrate.py"),
+        str(REPO_ROOT / "benchmarks" / "bench_service.py"),
         "-q",
         "--benchmark-only",
         f"--benchmark-json={out}",

@@ -1,10 +1,12 @@
 """Command-line interface: ``repro-leakage`` / ``python -m repro``.
 
-Three subcommands::
+Five subcommands::
 
     repro-leakage run <experiment> [...]   # tables/figures (the default)
     repro-leakage cache {info,clear}       # result-cache maintenance
     repro-leakage sweep {plan,run,status,merge}  # sharded parameter sweeps
+    repro-leakage serve [...]              # the leakage-analysis daemon
+    repro-leakage submit <verb> [...]      # client for a running daemon
 
 The historical flat forms keep working — a bare experiment name implies
 ``run``::
@@ -40,11 +42,25 @@ technology nodes) into engine jobs, optionally sharded across hosts
     repro-leakage sweep run --spec scaling.json --shard-index 0 --shard-count 4
     repro-leakage sweep status --spec scaling.json
     repro-leakage sweep merge --spec scaling.json --csv out/
+
+``serve`` turns the same engine into a persistent daemon (bounded
+admission, per-client fairness, request coalescing, SSE progress
+streams — see :mod:`repro.service`), and ``submit`` is its client::
+
+    repro-leakage serve --port 8330 &
+    repro-leakage submit jobs gzip ammp --scale 0.05
+    repro-leakage submit sweep --sweep-name scaling --scales 0.05
+    repro-leakage submit status
+
+Exit codes are uniform across every command: 0 success, 2 usage or
+runtime error (details on stderr), 8 service admission refused (429;
+retry after the hinted delay), 130 interrupted.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -73,7 +89,17 @@ from .workloads.benchmarks import BENCHMARK_NAMES
 
 #: Top-level subcommands; anything else on the command line is treated
 #: as an experiment name and routed to ``run`` (historical flat form).
-COMMANDS = ("run", "cache", "sweep")
+COMMANDS = ("run", "cache", "sweep", "serve", "submit")
+
+#: Exit code for a 429 admission refusal from the service — distinct
+#: from 2 (error) so callers can implement retry-after backoff.
+EXIT_REJECTED = 8
+
+#: Exit code when the user interrupts a command (SIGINT convention).
+EXIT_INTERRUPTED = 130
+
+#: Default service endpoint for ``submit`` (matches ``serve`` defaults).
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8330"
 
 
 class _BackCompatParser(argparse.ArgumentParser):
@@ -113,13 +139,26 @@ def build_parser() -> argparse.ArgumentParser:
             "for 'repro-leakage run table1'."
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_version()}",
+    )
     commands = parser.add_subparsers(
         dest="command", metavar="command", required=True
     )
     _add_run_parser(commands)
     _add_cache_parser(commands)
     _add_sweep_parser(commands)
+    _add_serve_parser(commands)
+    _add_submit_parser(commands)
     return parser
+
+
+def _version() -> str:
+    from . import __version__
+
+    return __version__
 
 
 def _add_run_parser(commands) -> None:
@@ -220,6 +259,12 @@ def _add_cache_parser(commands) -> None:
         default="info",
         help="info (default) or clear",
     )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable 'info' output (the same document the "
+        "service daemon serves under /v1/status)",
+    )
     cache.set_defaults(handler=cache_command)
 
 
@@ -312,6 +357,12 @@ def _add_sweep_parser(commands) -> None:
         "status", help="global progress across every shard journal"
     )
     _add_spec_arguments(status)
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable status (stable key order, shared "
+        "serializer with the service daemon)",
+    )
     status.set_defaults(handler=sweep_status_command)
 
     merge = verbs.add_parser(
@@ -342,6 +393,153 @@ def _add_sweep_parser(commands) -> None:
     merge.set_defaults(handler=sweep_merge_command)
 
 
+def _add_serve_parser(commands) -> None:
+    serve = commands.add_parser(
+        "serve",
+        help="start the persistent leakage-analysis daemon",
+        description=(
+            "Serve the execution engine over HTTP: POST /v1/jobs and "
+            "/v1/sweeps with bounded admission (429 + Retry-After when "
+            "full), per-client weighted fair queueing (X-Client header), "
+            "request coalescing, SSE progress streams, and graceful "
+            "SIGTERM drain with journaled-ticket resume on restart."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="TCP port (default 8330; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a Unix socket at PATH instead of TCP",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulation worker processes (default: REPRO_JOBS or CPUs)",
+    )
+    serve.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="primary execution backend (default: REPRO_BACKEND or 'pool')",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission-queue bound: queued computations beyond which "
+        "submissions get 429 (default 256)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="floor for the 429 Retry-After hint (default 1.0)",
+    )
+    serve.add_argument(
+        "--weight", action="append", default=[], metavar="CLIENT=W",
+        help="fairness weight for a client name (repeatable; "
+        "unlisted clients weigh 1.0)",
+    )
+    serve.set_defaults(handler=serve_command)
+
+
+def _add_client_arguments(parser) -> None:
+    parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help=f"service endpoint (default {DEFAULT_SERVICE_URL}; "
+        "'unix:PATH' for a Unix socket)",
+    )
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="shorthand for --url unix:PATH",
+    )
+    parser.add_argument(
+        "--client", default=None, metavar="NAME",
+        help="client name sent as X-Client (admission fairness key)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="overall wait timeout (default 600)",
+    )
+
+
+def _add_submit_parser(commands) -> None:
+    submit = commands.add_parser(
+        "submit",
+        help="submit work to a running daemon (client for 'serve')",
+        description=(
+            "Blocking client for the leakage-analysis service.  Exit "
+            f"code {EXIT_REJECTED} means admission was refused (429); "
+            "retry after the delay printed on stderr."
+        ),
+    )
+    verbs = submit.add_subparsers(dest="verb", metavar="verb", required=True)
+
+    jobs = verbs.add_parser(
+        "jobs", help="submit a benchmark batch and print the results"
+    )
+    jobs.add_argument(
+        "benchmarks", nargs="+", metavar="BENCHMARK",
+        help=f"benchmarks to simulate (from: {BENCHMARK_NAMES})",
+    )
+    jobs.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (as in 'run')",
+    )
+    jobs.add_argument(
+        "--no-wait", action="store_true",
+        help="print the admission response (tickets) and exit instead "
+        "of waiting for results",
+    )
+    _add_client_arguments(jobs)
+    jobs.set_defaults(handler=submit_jobs_command)
+
+    sweep = verbs.add_parser(
+        "sweep", help="submit a whole sweep and print the merged report"
+    )
+    _add_spec_arguments(sweep)
+    sweep.add_argument(
+        "--no-wait", action="store_true",
+        help="print the sweep ticket and exit instead of waiting",
+    )
+    _add_client_arguments(sweep)
+    sweep.set_defaults(handler=submit_sweep_command)
+
+    ticket = verbs.add_parser(
+        "ticket", help="inspect one ticket (optionally follow its events)"
+    )
+    ticket.add_argument("ticket_id", metavar="TICKET")
+    ticket.add_argument(
+        "--follow", action="store_true",
+        help="stream the ticket's SSE events until it completes",
+    )
+    _add_client_arguments(ticket)
+    ticket.set_defaults(handler=submit_ticket_command)
+
+    status = verbs.add_parser(
+        "status", help="print the daemon's /v1/status document"
+    )
+    _add_client_arguments(status)
+    status.set_defaults(handler=submit_status_command)
+
+    metricz = verbs.add_parser(
+        "metricz", help="print the daemon's flat counters"
+    )
+    _add_client_arguments(metricz)
+    metricz.set_defaults(handler=submit_metricz_command)
+
+    drain = verbs.add_parser(
+        "drain", help="ask the daemon to stop admitting new work"
+    )
+    _add_client_arguments(drain)
+    drain.set_defaults(handler=submit_drain_command)
+
+    shutdown = verbs.add_parser(
+        "shutdown", help="ask the daemon to drain and exit gracefully"
+    )
+    _add_client_arguments(shutdown)
+    shutdown.set_defaults(handler=submit_shutdown_command)
+
+
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
@@ -354,9 +552,16 @@ def cache_command(args) -> int:
     """``repro-leakage cache {info,clear}``: inspect or empty the cache."""
     store = ResultStore()
     if args.action == "clear":
+        if args.json:
+            return _fail("--json only applies to 'cache info'")
         removed = store.clear()
         print(f"cache: removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {store.describe()}")
+        return 0
+    if args.json:
+        from .service.protocol import cache_info_payload, dumps_stable
+
+        print(dumps_stable(cache_info_payload(store)), end="")
         return 0
     info = store.info()
     print(f"cache directory: {info['directory']}")
@@ -454,19 +659,25 @@ def run_command(args) -> int:
         return _fail(str(error))
     report = "\n\n\n".join(result.render() for result in results)
     print(report)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
-    if args.csv:
-        from .experiments.reporting import save_csv
+    try:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        if args.csv:
+            from .experiments.reporting import save_csv
 
-        for result in results:
-            save_csv(result, args.csv)
+            for result in results:
+                save_csv(result, args.csv)
+    except OSError as error:
+        return _fail(f"writing report outputs failed: {error}")
     telemetry = engine.telemetry
     if telemetry.jobs:
         print(telemetry.summary(), file=sys.stderr)
     if args.manifest:
-        telemetry.write_manifest(args.manifest)
+        try:
+            telemetry.write_manifest(args.manifest)
+        except OSError as error:
+            return _fail(f"writing the manifest failed: {error}")
     if journal is not None:
         written = journal.write_manifest(telemetry.manifest())
         if written:
@@ -535,6 +746,17 @@ def sweep_run_command(args) -> int:
 def sweep_status_command(args) -> int:
     try:
         spec = _spec_from_args(args)
+        if args.json:
+            from .service.protocol import dumps_stable, sweep_status_payload
+            from .sweep import SweepCoordinator
+
+            coordinator = SweepCoordinator(spec)
+            coordinator.ensure_spec()
+            print(
+                dumps_stable(sweep_status_payload(coordinator.status())),
+                end="",
+            )
+            return 0
         print(status_text(spec))
     except ReproError as error:
         return _fail(str(error))
@@ -548,31 +770,34 @@ def sweep_merge_command(args) -> int:
     except ReproError as error:
         return _fail(str(error))
     print(outcome.report)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(outcome.report + "\n")
-    if args.csv:
-        from .sweep import save_csv as save_sweep_csv
+    try:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(outcome.report + "\n")
+        if args.csv:
+            from .sweep import save_csv as save_sweep_csv
 
-        path = save_sweep_csv(outcome.results, args.csv)
-        print(f"sweep csv: {path}", file=sys.stderr)
-    if args.json:
-        import json as json_module
-        from pathlib import Path
+            path = save_sweep_csv(outcome.results, args.csv)
+            print(f"sweep csv: {path}", file=sys.stderr)
+        if args.json:
+            import json as json_module
+            from pathlib import Path
 
-        from .sweep import to_json_dict
+            from .sweep import to_json_dict
 
-        target = Path(args.json)
-        if target.parent != Path("."):
-            target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(
-            json_module.dumps(
-                to_json_dict(outcome.results), indent=2, sort_keys=True
+            target = Path(args.json)
+            if target.parent != Path("."):
+                target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                json_module.dumps(
+                    to_json_dict(outcome.results), indent=2, sort_keys=True
+                )
+                + "\n",
+                encoding="utf-8",
             )
-            + "\n",
-            encoding="utf-8",
-        )
-        print(f"sweep json: {target}", file=sys.stderr)
+            print(f"sweep json: {target}", file=sys.stderr)
+    except OSError as error:
+        return _fail(f"writing sweep outputs failed: {error}")
     if outcome.telemetry.jobs:
         print(outcome.telemetry.summary(), file=sys.stderr)
     if outcome.manifest_path:
@@ -580,15 +805,211 @@ def sweep_merge_command(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serve / submit (the service daemon and its client)
+# ----------------------------------------------------------------------
+def serve_command(args) -> int:
+    """``repro-leakage serve``: run the leakage-analysis daemon."""
+    import asyncio
+
+    from .service import ServiceConfig, ServiceDaemon
+
+    weights = {}
+    for entry in args.weight:
+        name, sep, raw = entry.partition("=")
+        if not sep or not name:
+            return _fail(f"--weight needs CLIENT=WEIGHT, got {entry!r}")
+        try:
+            weight = float(raw)
+        except ValueError:
+            return _fail(f"--weight {entry!r}: the weight must be a number")
+        if weight <= 0:
+            return _fail(f"--weight {entry!r}: the weight must be positive")
+        weights[name] = weight
+    if args.socket and args.port is not None:
+        return _fail("--socket and --port are mutually exclusive")
+    try:
+        daemon_config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            socket=args.socket,
+            jobs=args.jobs,
+            backend=args.backend,
+            max_queue=args.max_queue,
+            retry_after=args.retry_after,
+            client_weights=weights,
+        )
+        daemon = ServiceDaemon(daemon_config)
+        asyncio.run(daemon.run())
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def _service_client(args):
+    from .service.client import ServiceClient
+
+    if args.url and args.socket:
+        raise ReproError("--url and --socket are mutually exclusive")
+    url = args.url or (
+        f"unix:{args.socket}" if args.socket else DEFAULT_SERVICE_URL
+    )
+    return ServiceClient(url, client=args.client, timeout=args.timeout)
+
+
+def _rejected(rejected) -> int:
+    print(
+        f"error: {rejected} (retry after {rejected.retry_after:.1f}s)",
+        file=sys.stderr,
+    )
+    return EXIT_REJECTED
+
+
+def submit_jobs_command(args) -> int:
+    from .service.client import ServiceRejected
+    from .service.protocol import dumps_stable
+
+    benchmarks = [name.lower() for name in args.benchmarks]
+    unknown = [name for name in benchmarks if name not in BENCHMARK_NAMES]
+    if unknown:
+        return _fail(
+            f"unknown benchmarks {unknown}; choose from {BENCHMARK_NAMES}"
+        )
+    specs = [
+        {"benchmark": name, "scale": args.scale} for name in benchmarks
+    ]
+    try:
+        client = _service_client(args)
+        response = client.submit_jobs(specs)
+        if args.no_wait:
+            print(dumps_stable(response), end="")
+            return 0
+        documents = []
+        for item in response["items"]:
+            if item["status"] == "cached":
+                documents.append(
+                    {
+                        "result": item["result"],
+                        "execution": item["execution"],
+                    }
+                )
+            else:
+                ticket = client.wait(item["ticket"], timeout=args.timeout)
+                documents.append(
+                    {
+                        "result": ticket["result"]["result"],
+                        "execution": ticket["result"]["execution"],
+                    }
+                )
+        print(dumps_stable({"jobs": documents}), end="")
+    except ServiceRejected as rejected:
+        return _rejected(rejected)
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_sweep_command(args) -> int:
+    from .service.client import ServiceRejected
+    from .service.protocol import dumps_stable
+
+    try:
+        spec = _spec_from_args(args)
+        client = _service_client(args)
+        response = client.submit_sweep(spec.to_dict())
+        if args.no_wait:
+            print(dumps_stable(response), end="")
+            return 0
+        ticket = client.wait(response["ticket"], timeout=args.timeout)
+        result = ticket["result"]
+        print(result["report"])
+        print(
+            f"sweep {spec.name} served: {result['grid_jobs']} point(s), "
+            f"{result['cached_at_submit']} cached at submit, "
+            f"{result['computed']} computed, "
+            f"{result['coalesced']} coalesced; "
+            f"report sha256 {result['report_sha256']}",
+            file=sys.stderr,
+        )
+    except ServiceRejected as rejected:
+        return _rejected(rejected)
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_ticket_command(args) -> int:
+    import json as json_module
+
+    from .service.protocol import dumps_stable
+
+    try:
+        client = _service_client(args)
+        if args.follow:
+            for event in client.events(args.ticket_id):
+                print(json_module.dumps(event, sort_keys=True), flush=True)
+            return 0
+        print(dumps_stable(client.ticket(args.ticket_id)), end="")
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_status_command(args) -> int:
+    from .service.protocol import dumps_stable
+
+    try:
+        print(dumps_stable(_service_client(args).status()), end="")
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_metricz_command(args) -> int:
+    try:
+        print(_service_client(args).metricz_text(), end="")
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_drain_command(args) -> int:
+    from .service.protocol import dumps_stable
+
+    try:
+        print(dumps_stable(_service_client(args).drain()), end="")
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_shutdown_command(args) -> int:
+    from .service.protocol import dumps_stable
+
+    try:
+        print(dumps_stable(_service_client(args).shutdown()), end="")
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     try:
         args = build_parser().parse_args(argv)
-    except SystemExit as exit_:  # argparse error (2) or --help (0)
+    except SystemExit as exit_:  # argparse error (2), --help/--version (0)
         code = exit_.code
         return code if isinstance(code, int) else 0 if code is None else 2
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro-leakage list | head`);
+        # detach stdout so the interpreter's shutdown flush can't raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except ReproError as error:
         return _fail(str(error))
 

@@ -162,6 +162,9 @@ class ExecutionEngine:
                 hit = self.store.get(job.key())
             if hit is not None:
                 outcomes[job] = JobOutcome(job, hit, SOURCE_CACHED, sw.seconds)
+                self.telemetry.emit(
+                    "job-cached", job=job.describe(), key=job.key()
+                )
                 self._journal_record(job)
             else:
                 if job.key() in self._journaled:
@@ -186,6 +189,27 @@ class ExecutionEngine:
         """Convenience wrapper: run a single job."""
         return self.run([job])[job]
 
+    def run_streaming(
+        self,
+        jobs: Sequence[SimulationJob],
+        callback,
+    ) -> Dict[SimulationJob, JobOutcome]:
+        """:meth:`run` with a progress callback subscribed for its duration.
+
+        ``callback`` receives every telemetry event of the run (cache
+        hits, dispatches, completions, retries, quarantines, degradation
+        notes) as a dict with an ``"event"`` key.  This is the
+        async-friendly submit seam: callers owning an event loop hand
+        ``run_streaming`` to an executor thread and marshal the events
+        back with ``loop.call_soon_threadsafe`` — the service daemon's
+        SSE ticket streams are exactly this.
+        """
+        self.telemetry.subscribe(callback)
+        try:
+            return self.run(jobs)
+        finally:
+            self.telemetry.unsubscribe(callback)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -204,6 +228,10 @@ class ExecutionEngine:
         pending: List[SimulationJob],
         outcomes: Dict[SimulationJob, JobOutcome],
     ) -> None:
+        for job in pending:
+            self.telemetry.emit(
+                "job-started", job=job.describe(), key=job.key()
+            )
         dispatch = self.supervisor.dispatch(pending)
         for note in dispatch.notes:
             self.telemetry.note(note)
@@ -239,6 +267,13 @@ class ExecutionEngine:
                 completion.wall_seconds,
                 attempts=completion.attempts,
             )
+            self.telemetry.emit(
+                "job-validated",
+                job=job.describe(),
+                key=job.key(),
+                source=completion.source,
+                attempts=completion.attempts,
+            )
             self._commit(job, completion.annotated)
 
         try:
@@ -248,6 +283,13 @@ class ExecutionEngine:
                 )
                 outcomes[job] = JobOutcome(
                     job, annotated, source, seconds, attempts=attempts
+                )
+                self.telemetry.emit(
+                    "job-validated",
+                    job=job.describe(),
+                    key=job.key(),
+                    source=source,
+                    attempts=attempts,
                 )
                 self._commit(job, annotated)
         finally:

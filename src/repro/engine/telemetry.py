@@ -8,6 +8,13 @@ wall time, and :class:`RunTelemetry` turns them into
 
 Timers are monotonic and deliberately lightweight (one ``perf_counter``
 pair per job); they add nothing measurable to multi-second simulations.
+
+Telemetry is also the engine's *streaming* seam: observers subscribed
+via :meth:`RunTelemetry.subscribe` receive every lifecycle event —
+cache hits, dispatches, completions, retries, quarantines, degradation
+notes — the moment it is recorded.  The service daemon
+(:mod:`repro.service`) turns this stream into per-ticket SSE events;
+observers that raise are dropped from the event, never from the run.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from .jobs import SOURCE_CACHED, JobOutcome
 
@@ -31,8 +38,11 @@ from .jobs import SOURCE_CACHED, JobOutcome
 #: supervised multi-backend execution: the ``quarantine`` (invalid
 #: results + corrupt cache entries), ``heartbeats`` (watchdog events)
 #: and ``breakers`` (circuit-breaker states and transitions) sections,
-#: their totals, and cache-quarantine counts in the ``store`` section.
-MANIFEST_VERSION = 5
+#: their totals, and cache-quarantine counts in the ``store`` section;
+#: version 6 added the ``service`` section (the ``ServiceProfile`` a
+#: daemon run records: admission, coalescing, per-client and ticket
+#: counters — empty for plain CLI runs).
+MANIFEST_VERSION = 6
 
 
 class Stopwatch:
@@ -99,6 +109,41 @@ class RunTelemetry:
     wall_seconds: float = 0.0
     context: Dict = field(default_factory=dict)
     store_stats: Dict = field(default_factory=dict)
+    #: The ``ServiceProfile`` of a daemon-owned run (manifest v6); empty
+    #: for plain CLI runs.
+    service: Dict = field(default_factory=dict)
+    #: Live event observers (not part of the manifest).
+    observers: List[Callable] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    # Streaming observers
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: Callable[[Dict], None]) -> None:
+        """Attach a live observer; it receives every ``emit`` payload."""
+        self.observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[Dict], None]) -> None:
+        """Detach an observer added with :meth:`subscribe`."""
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    def emit(self, event: str, **data) -> None:
+        """Push one lifecycle event to every observer.
+
+        Observers run synchronously on the emitting thread (worker
+        completions arrive on the engine's thread); a raising observer
+        is skipped, never allowed to break the run.
+        """
+        if not self.observers:
+            return
+        payload = {"event": event, **data}
+        for observer in list(self.observers):
+            try:
+                observer(payload)
+            except Exception:
+                continue
 
     # ------------------------------------------------------------------
     # Recording
@@ -135,46 +180,54 @@ class RunTelemetry:
 
     def record_failure(self, job, error: BaseException) -> None:
         """Add one permanently-failed job."""
-        self.failures.append(
-            {
-                "benchmark": job.benchmark,
-                "scale": float(job.scale),
-                "key": job.key(),
-                "error": f"{type(error).__name__}: {error}",
-            }
-        )
+        entry = {
+            "benchmark": job.benchmark,
+            "scale": float(job.scale),
+            "key": job.key(),
+            "error": f"{type(error).__name__}: {error}",
+        }
+        self.failures.append(entry)
+        self.emit("job-failed", **entry)
 
     def record_retry(self, entry: Dict) -> None:
         """Add one structured retry record (see ``PoolReport.retries``)."""
         self.retries.append(dict(entry))
+        self.emit("job-retried", **dict(entry))
 
     def record_fault(self, description: str) -> None:
         """Add one injected-fault record (engine-side injections)."""
         self.faults.append(description)
+        self.emit("fault-injected", description=description)
 
     def record_quarantine(self, job, violations, where: str) -> None:
         """Add one invalid-result quarantine (the validation gate fired)."""
-        self.quarantines.append(
-            {
-                "benchmark": job.benchmark,
-                "scale": float(job.scale),
-                "key": job.key(),
-                "where": where,
-                "violations": [str(v) for v in violations],
-            }
-        )
+        entry = {
+            "benchmark": job.benchmark,
+            "scale": float(job.scale),
+            "key": job.key(),
+            "where": where,
+            "violations": [str(v) for v in violations],
+        }
+        self.quarantines.append(entry)
+        self.emit("result-quarantined", **entry)
 
     def record_heartbeat(self, entry: Dict) -> None:
         """Add one watchdog event (heartbeat gap or progress stall)."""
         self.heartbeats.append(dict(entry))
+        self.emit("heartbeat", **dict(entry))
 
     def record_breakers(self, snapshot: Dict) -> None:
         """Snapshot the supervisor's circuit breakers (idempotent)."""
         self.breakers = dict(snapshot)
 
+    def record_service(self, profile: Dict) -> None:
+        """Attach the daemon's ``ServiceProfile`` (manifest v6 section)."""
+        self.service = dict(profile)
+
     def note(self, message: str) -> None:
         """Attach a free-form robustness note (pool fallbacks, evictions)."""
         self.notes.append(message)
+        self.emit("note", message=message)
 
     def record_store(self, store) -> None:
         """Snapshot the result store's counters (idempotent, cumulative).
@@ -333,6 +386,7 @@ class RunTelemetry:
             "heartbeats": [dict(h) for h in self.heartbeats],
             "breakers": dict(self.breakers),
             "store": dict(self.store_stats),
+            "service": dict(self.service),
         }
 
     def write_manifest(self, path) -> str:

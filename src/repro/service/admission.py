@@ -1,0 +1,215 @@
+"""Admission control: a bounded queue with weighted fair scheduling.
+
+The daemon's overload story lives here.  Admission is *explicit*: a
+computation either gets a queue slot immediately or the whole request
+is refused with 429 + ``Retry-After`` — the queue never grows without
+bound, so a burst of traffic degrades into fast rejections instead of
+unbounded memory growth and timeout cascades.
+
+Fairness is per client (the ``X-Client`` header), implemented as
+stride scheduling — the deterministic cousin of weighted fair queueing:
+each client owns a FIFO of admitted work and a virtual *pass* value;
+the scheduler always pops from the client with the smallest pass, then
+advances that pass by ``STRIDE_SCALE / weight``.  A client with weight
+2 therefore drains twice as fast as a weight-1 client, and a client
+that floods the queue cannot starve the others — its own FIFO just gets
+longer.  Ties break on client name, so the dispatch order is a pure
+function of the admission sequence: the property that keeps service
+runs reproducible enough to byte-compare against offline runs.
+
+Only *new* computations consume slots.  Cache hits are answered at
+admission time and coalesced requests attach to an in-flight ticket
+(:mod:`repro.service.coalesce`); both are free, which is exactly the
+economics a content-addressed serving layer should have.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import ReproError
+
+#: Pass-value increment for a weight-1.0 client per dispatched item.
+STRIDE_SCALE = 1_000_000.0
+
+
+class AdmissionFull(ReproError):
+    """The admission queue cannot take the request's new computations."""
+
+    def __init__(self, message: str, depth: int, limit: int) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+
+
+class WorkItem:
+    """One admitted computation, queued under its client."""
+
+    __slots__ = ("ticket_id", "key", "client", "internal")
+
+    def __init__(
+        self,
+        ticket_id: str,
+        key: str,
+        client: str,
+        internal: bool = False,
+    ) -> None:
+        self.ticket_id = ticket_id
+        self.key = key
+        self.client = client
+        #: Internal continuations (sweep finalization, restart resume)
+        #: bypass the bound: refusing work the daemon already promised
+        #: would deadlock drain/resume.
+        self.internal = internal
+
+
+class AdmissionQueue:
+    """Bounded multi-client queue with stride-scheduled dispatch."""
+
+    def __init__(
+        self,
+        limit: int,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if limit < 1:
+            raise ReproError(f"admission limit must be >= 1, got {limit!r}")
+        self.limit = int(limit)
+        self.weights = dict(weights or {})
+        self._queues: Dict[str, Deque[WorkItem]] = {}
+        self._passes: Dict[str, float] = {}
+        self.depth = 0  #: Bounded (non-internal) items currently queued.
+        self.internal_depth = 0
+        #: Lifetime counters for /v1/metricz and the ServiceProfile.
+        self.admitted = 0
+        self.rejected = 0
+        self.dispatched = 0
+        self.per_client_admitted: Dict[str, int] = {}
+        self.per_client_rejected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def can_admit(self, count: int) -> bool:
+        """Whether ``count`` more bounded computations fit right now."""
+        return self.depth + count <= self.limit
+
+    def admit(self, item: WorkItem) -> None:
+        """Queue one computation; raises :class:`AdmissionFull` when over.
+
+        Callers admitting a batch should check :meth:`can_admit` for the
+        whole batch first — partial admission of a batch is worse than
+        refusing it (the client would hold half a promise).
+        """
+        if not item.internal and self.depth + 1 > self.limit:
+            self.rejected += 1
+            self.per_client_rejected[item.client] = (
+                self.per_client_rejected.get(item.client, 0) + 1
+            )
+            raise AdmissionFull(
+                f"admission queue is full ({self.depth}/{self.limit})",
+                depth=self.depth,
+                limit=self.limit,
+            )
+        queue = self._queues.get(item.client)
+        if queue is None:
+            queue = self._queues[item.client] = deque()
+            # A newly active client starts at the current minimum pass so
+            # it cannot claim credit for time it spent idle.
+            floor = min(
+                (
+                    self._passes[name]
+                    for name, q in self._queues.items()
+                    if q and name != item.client
+                ),
+                default=0.0,
+            )
+            self._passes[item.client] = max(
+                self._passes.get(item.client, 0.0), floor
+            )
+        queue.append(item)
+        if item.internal:
+            self.internal_depth += 1
+        else:
+            self.depth += 1
+        self.admitted += 1
+        self.per_client_admitted[item.client] = (
+            self.per_client_admitted.get(item.client, 0) + 1
+        )
+
+    def reject_batch(self, client: str, count: int) -> None:
+        """Count a whole-batch refusal (no partial admission)."""
+        self.rejected += count
+        self.per_client_rejected[client] = (
+            self.per_client_rejected.get(client, 0) + count
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[WorkItem]:
+        """The next item under stride scheduling, or ``None`` when empty."""
+        best: Optional[str] = None
+        for client, queue in self._queues.items():
+            if not queue:
+                continue
+            if best is None or (
+                (self._passes[client], client)
+                < (self._passes[best], best)
+            ):
+                best = client
+        if best is None:
+            return None
+        item = self._queues[best].popleft()
+        weight = max(float(self.weights.get(best, 1.0)), 1e-6)
+        self._passes[best] += STRIDE_SCALE / weight
+        if item.internal:
+            self.internal_depth -= 1
+        else:
+            self.depth -= 1
+        self.dispatched += 1
+        return item
+
+    def pending(self) -> List[WorkItem]:
+        """Every queued item, in current dispatch order (non-destructive)."""
+        items: List[WorkItem] = []
+        passes = dict(self._passes)
+        queues = {c: deque(q) for c, q in self._queues.items()}
+        while True:
+            best = None
+            for client, queue in queues.items():
+                if not queue:
+                    continue
+                if best is None or (passes[client], client) < (
+                    passes[best],
+                    best,
+                ):
+                    best = client
+            if best is None:
+                return items
+            items.append(queues[best].popleft())
+            weight = max(float(self.weights.get(best, 1.0)), 1e-6)
+            passes[best] += STRIDE_SCALE / weight
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Queue state for ``/v1/status`` and the ServiceProfile."""
+        return {
+            "limit": self.limit,
+            "depth": self.depth,
+            "internal_depth": self.internal_depth,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "clients": {
+                client: {
+                    "queued": len(queue),
+                    "admitted": self.per_client_admitted.get(client, 0),
+                    "rejected": self.per_client_rejected.get(client, 0),
+                    "weight": float(self.weights.get(client, 1.0)),
+                }
+                for client, queue in sorted(self._queues.items())
+            },
+        }

@@ -1,0 +1,307 @@
+"""Blocking client for the leakage-analysis service.
+
+A thin, dependency-free wrapper over :mod:`http.client` that speaks the
+:mod:`repro.service.protocol` wire format — the library behind
+``repro-leakage submit`` and the service tests/benchmarks::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("http://127.0.0.1:8330", client="bench") as svc:
+        response = svc.submit_jobs([
+            {"benchmark": "gzip", "scale": 0.05},
+        ])
+        item = response["items"][0]
+        if item["status"] != "cached":
+            item = svc.wait(item["ticket"])["result"]
+
+Every method opens one connection per request (the daemon closes after
+each response), so a single client object is safe to share across
+threads.  Unix sockets work through the same URL parameter:
+``ServiceClient("unix:/tmp/repro.sock")``.
+
+Errors map onto two exceptions: :class:`ServiceRejected` for 429
+(carrying the parsed ``retry_after`` hint) and :class:`ServiceError`
+for everything else non-2xx.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+from .protocol import CLIENT_HEADER, parse_metricz
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the service (other than 429)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceRejected(ServiceError):
+    """The service refused admission (429); retry after the hint."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, status=429)
+        self.retry_after = retry_after
+
+
+class _UnixConnection(http.client.HTTPConnection):
+    """``http.client`` over an AF_UNIX socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._socket_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """Blocking HTTP client for one service endpoint."""
+
+    def __init__(
+        self,
+        url: str,
+        client: Optional[str] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        self.url = url
+        self.client = client
+        self.timeout = timeout
+        if url.startswith("unix:"):
+            self._socket_path: Optional[str] = url[len("unix:"):]
+            self._host, self._port = "localhost", None
+        else:
+            parts = urlsplit(url if "//" in url else f"http://{url}")
+            if parts.scheme not in ("http", ""):
+                raise ServiceError(
+                    f"unsupported service URL scheme {parts.scheme!r} "
+                    "(http or unix only)"
+                )
+            self._socket_path = None
+            self._host = parts.hostname or "127.0.0.1"
+            self._port = parts.port or 80
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._socket_path is not None:
+            return _UnixConnection(self._socket_path, timeout=self.timeout)
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.client:
+            headers[CLIENT_HEADER] = self.client
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+    ) -> Dict:
+        payload = (
+            None
+            if body is None
+            else json.dumps(body, sort_keys=True).encode("utf-8")
+        )
+        connection = self._connect()
+        try:
+            connection.request(
+                method, path, body=payload, headers=self._headers()
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"service at {self.url!r} unreachable: {error}"
+            ) from None
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            document = {"error": raw.decode("utf-8", errors="replace")}
+        if status == 429:
+            raise ServiceRejected(
+                document.get("error", "admission refused"),
+                retry_after=float(document.get("retry_after", 1.0)),
+            )
+        if status >= 300:
+            detail = document.get("error") or repr(raw[:200])
+            raise ServiceError(
+                f"{method} {path} -> {status}: {detail}", status=status
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit_jobs(self, jobs: List[Dict]) -> Dict:
+        """``POST /v1/jobs``: per-item cached results or tickets."""
+        return self._request("POST", "/v1/jobs", {"jobs": list(jobs)})
+
+    def submit_sweep(self, spec: Dict) -> Dict:
+        """``POST /v1/sweeps``: one sweep ticket for a SweepSpec dict."""
+        return self._request("POST", "/v1/sweeps", dict(spec))
+
+    def ticket(self, ticket_id: str) -> Dict:
+        """``GET /v1/tickets/<id>``: the full ticket document."""
+        return self._request("GET", f"/v1/tickets/{ticket_id}")
+
+    def wait(
+        self,
+        ticket_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> Dict:
+        """Poll a ticket until it is terminal; returns its document.
+
+        Raises :class:`ServiceError` if the ticket ends ``failed`` or the
+        timeout elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.ticket(ticket_id)
+            if document["state"] == "done":
+                return document
+            if document["state"] == "failed":
+                raise ServiceError(
+                    f"ticket {ticket_id} failed: {document.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"ticket {ticket_id} still {document['state']!r} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def events(self, ticket_id: str) -> Iterator[Dict]:
+        """``GET /v1/tickets/<id>/events``: yield SSE events until done.
+
+        Yields each ``data:`` payload as a dict; the terminating
+        ``event: end`` frame is yielded last with ``{"event": "end",
+        "state": ...}``.
+        """
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET",
+                f"/v1/tickets/{ticket_id}/events",
+                headers=self._headers(),
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    detail = json.loads(raw.decode("utf-8")).get("error")
+                except ValueError:
+                    detail = raw[:200]
+                raise ServiceError(
+                    f"event stream for {ticket_id} -> {response.status}: "
+                    f"{detail}",
+                    status=response.status,
+                )
+            event_name = None
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                    continue
+                if not line.startswith("data:"):
+                    continue
+                try:
+                    payload = json.loads(line[len("data:"):].strip())
+                except ValueError:
+                    continue
+                if event_name == "end":
+                    payload["event"] = "end"
+                    yield payload
+                    return
+                yield payload
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"event stream for {ticket_id} broke: {error}"
+            ) from None
+        finally:
+            connection.close()
+
+    def status(self) -> Dict:
+        """``GET /v1/status``."""
+        return self._request("GET", "/v1/status")
+
+    def metricz(self) -> Dict[str, float]:
+        """``GET /v1/metricz`` parsed into a counters dict."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", "/v1/metricz", headers=self._headers()
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    f"GET /v1/metricz -> {response.status}",
+                    status=response.status,
+                )
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"service at {self.url!r} unreachable: {error}"
+            ) from None
+        finally:
+            connection.close()
+        return parse_metricz(raw.decode("utf-8"))
+
+    def metricz_text(self) -> str:
+        """``GET /v1/metricz`` raw body (the CLI passthrough)."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET", "/v1/metricz", headers=self._headers()
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    f"GET /v1/metricz -> {response.status}",
+                    status=response.status,
+                )
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"service at {self.url!r} unreachable: {error}"
+            ) from None
+        finally:
+            connection.close()
+        return raw.decode("utf-8")
+
+    def drain(self) -> Dict:
+        """``POST /v1/drain``: stop admissions, keep serving reads."""
+        return self._request("POST", "/v1/drain")
+
+    def shutdown(self) -> Dict:
+        """``POST /v1/shutdown``: graceful drain and exit."""
+        return self._request("POST", "/v1/shutdown")
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None

@@ -1,0 +1,84 @@
+"""Request coalescing: one computation per in-flight content address.
+
+Two clients asking for the same job would, naively, compute it twice —
+once each — because neither result is cached yet.  The coalescing
+registry closes that window: the first request for a content address
+becomes the *leader* (it owns the queue slot and the computation);
+every later request for the same address while the leader is queued or
+running *attaches* as a follower, consuming nothing.  When the leader's
+result lands — validated by the engine's invariant gate and written to
+the content-addressed store — the daemon resolves every follower with
+the identical payload.
+
+This is only sound because of two properties the engine already
+guarantees: results are pure functions of the content address (so the
+leader's answer *is* the follower's answer), and the validation gate
+quarantines bad results before the store or any waiter can see them.
+
+Sweep tickets ride the same registry: each grid point registers the
+sweep ticket as a *watcher* of that point's content address, so a sweep
+point, a direct job submission, and another sweep's overlapping point
+all share one computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class CoalesceRegistry:
+    """In-flight computations keyed by content address."""
+
+    def __init__(self) -> None:
+        #: key -> leader ticket id (the computation owner).
+        self._leaders: Dict[str, str] = {}
+        #: key -> follower ticket ids resolved when the leader completes.
+        self._followers: Dict[str, List[str]] = {}
+        #: key -> sweep ticket ids watching this point.
+        self._watchers: Dict[str, List[str]] = {}
+        #: Lifetime counters.
+        self.computations = 0
+        self.coalesced = 0
+
+    def leader_for(self, key: str) -> Optional[str]:
+        """The in-flight leader ticket for a key, if any."""
+        return self._leaders.get(key)
+
+    def begin(self, key: str, ticket_id: str) -> None:
+        """Register a new leader: exactly one computation for this key."""
+        self._leaders[key] = ticket_id
+        self.computations += 1
+
+    def attach(self, key: str, ticket_id: str) -> str:
+        """Attach a follower to the in-flight leader; returns its id."""
+        leader = self._leaders[key]
+        self._followers.setdefault(key, []).append(ticket_id)
+        self.coalesced += 1
+        return leader
+
+    def watch(self, key: str, sweep_ticket_id: str) -> None:
+        """Subscribe a sweep ticket to a point's completion."""
+        watchers = self._watchers.setdefault(key, [])
+        if sweep_ticket_id not in watchers:
+            watchers.append(sweep_ticket_id)
+
+    def watchers(self, key: str) -> List[str]:
+        return list(self._watchers.get(key, ()))
+
+    def complete(self, key: str) -> List[str]:
+        """Close out a computation; returns the followers to resolve."""
+        self._leaders.pop(key, None)
+        self._watchers.pop(key, None)
+        return self._followers.pop(key, [])
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._leaders)
+
+    def snapshot(self) -> Dict:
+        """Registry state for ``/v1/status`` and the ServiceProfile."""
+        return {
+            "in_flight": self.in_flight,
+            "computations": self.computations,
+            "coalesced": self.coalesced,
+        }

@@ -1,0 +1,241 @@
+"""Wire protocol of the leakage-analysis service.
+
+Everything that crosses the HTTP boundary — job specs, result payloads,
+ticket records, status documents — is defined here, in one place, so
+the daemon (:mod:`repro.service.server`), the blocking client
+(:mod:`repro.service.client`) and the CLI's ``--json`` outputs share a
+single serializer instead of three ad-hoc ones.
+
+Two invariants the rest of the subsystem leans on:
+
+* **Stable bytes.**  :func:`dumps_stable` renders every payload with
+  sorted keys and a fixed indent, so two responses describing the same
+  result are byte-identical — the property the coalescing-determinism
+  tests assert.
+* **Deterministic vs. execution-dependent split.**  A job's payload is
+  two documents: ``result`` (instructions, cycles, per-level cache
+  stats — a pure function of the job's content address) and
+  ``execution`` (source, attempts, coalescing — whatever path happened
+  to produce it).  Clients comparing answers compare ``result``.
+
+Job specs mirror :class:`~repro.engine.jobs.SimulationJob`::
+
+    {"benchmark": "gzip", "scale": 0.05, "pipeline": null}
+
+and are parsed through the *same* pipeline-entry validation the sweep
+spec uses, so an HTTP submission and a local sweep point at the same
+parameters agree on their content address and share one cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..engine import JobOutcome, SimulationJob, collect_sharing_stats
+from ..errors import ReproError
+from ..sweep.spec import pipeline_from_dict, pipeline_to_dict
+
+#: Version of the wire protocol; served in every status document.
+PROTOCOL_VERSION = 1
+
+#: Ticket lifecycle states (the registry enforces the transitions).
+TICKET_STATES = ("queued", "running", "done", "failed")
+
+#: Header naming the submitting client (admission fairness key).
+CLIENT_HEADER = "X-Client"
+
+#: Fallback client name when the header is absent.
+DEFAULT_CLIENT = "anonymous"
+
+
+class ProtocolError(ReproError):
+    """A request body or payload violates the wire protocol."""
+
+
+def dumps_stable(payload) -> str:
+    """Canonical JSON text: sorted keys, 2-space indent, trailing newline.
+
+    The one serializer behind ``/v1/status``, ticket documents, and the
+    CLI's ``--json`` outputs — byte-stable for identical payloads.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Job specs
+# ----------------------------------------------------------------------
+def parse_job_spec(data) -> SimulationJob:
+    """Parse one job spec object into a validated engine job."""
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"job spec must be an object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"benchmark", "scale", "pipeline"})
+    if unknown:
+        raise ProtocolError(
+            f"job spec has unknown fields {unknown}; "
+            "known: ['benchmark', 'pipeline', 'scale']"
+        )
+    if "benchmark" not in data:
+        raise ProtocolError("job spec needs a 'benchmark' field")
+    scale = data.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool):
+        raise ProtocolError(f"job spec scale must be a number, got {scale!r}")
+    try:
+        pipeline = pipeline_from_dict(data.get("pipeline"))
+        return SimulationJob(
+            data["benchmark"], scale=float(scale), pipeline=pipeline
+        )
+    except ReproError as error:
+        raise ProtocolError(str(error)) from None
+
+
+def parse_job_batch(body: Dict) -> List[SimulationJob]:
+    """Parse a ``POST /v1/jobs`` body: ``{"jobs": [<spec>, ...]}``."""
+    if not isinstance(body, dict) or "jobs" not in body:
+        raise ProtocolError("request body needs a 'jobs' array")
+    specs = body["jobs"]
+    if not isinstance(specs, list) or not specs:
+        raise ProtocolError("'jobs' must be a non-empty array of job specs")
+    return [parse_job_spec(entry) for entry in specs]
+
+
+def job_spec_payload(job: SimulationJob) -> Dict:
+    """The canonical spec object a job round-trips through."""
+    return {
+        "benchmark": job.benchmark,
+        "scale": float(job.scale),
+        "pipeline": pipeline_to_dict(job.pipeline),
+    }
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def job_result_payload(job: SimulationJob, annotated) -> Dict:
+    """The deterministic result document for one finished job.
+
+    A pure function of the job's content address: every field comes from
+    the simulated result, none from the execution path, so serial,
+    parallel, cached and coalesced answers serialize identically.
+    """
+    result = annotated.result
+    levels = {}
+    for name, stats in sorted(result.stats.levels.items()):
+        levels[name] = {
+            "accesses": int(stats.accesses),
+            "hits": int(stats.hits),
+            "misses": int(stats.misses),
+            "evictions": int(stats.evictions),
+        }
+    return {
+        "benchmark": job.benchmark,
+        "scale": float(job.scale),
+        "key": job.key(),
+        "instructions": int(result.instructions),
+        "cycles": int(result.cycles),
+        "stall_cycles": int(result.stall_cycles),
+        "l1i_intervals": len(result.l1i_intervals),
+        "l1d_intervals": len(result.l1d_intervals),
+        "levels": levels,
+    }
+
+
+def execution_payload(outcome: JobOutcome, coalesced: bool = False) -> Dict:
+    """The execution-dependent half of a job answer (never compared)."""
+    return {
+        "source": outcome.source,
+        "attempts": int(outcome.attempts),
+        "wall_seconds": float(outcome.wall_seconds),
+        "coalesced": bool(coalesced),
+    }
+
+
+# ----------------------------------------------------------------------
+# Shared status serializers (daemon /v1/status and CLI --json)
+# ----------------------------------------------------------------------
+def cache_info_payload(store) -> Dict:
+    """Machine-readable ``cache info``: store state + sharing totals.
+
+    The same document ``repro-leakage cache info --json`` prints and the
+    daemon embeds under ``/v1/status``'s ``"cache"`` key.
+    """
+    info = store.info()
+    return {
+        "directory": info["directory"],
+        "entries": int(info["entries"]),
+        "bytes": int(info["bytes"]),
+        "max_bytes": info["max_bytes"],
+        "quarantined": int(info.get("quarantined", 0)),
+        "sharing": collect_sharing_stats(store.directory),
+    }
+
+
+def sweep_status_payload(status: Dict) -> Dict:
+    """Machine-readable ``sweep status`` (stable key order).
+
+    Takes the coordinator's status dict verbatim; defined here so the
+    CLI's ``--json`` flag and service tooling agree on the document.
+    """
+    return {
+        "sweep": status["sweep"],
+        "directory": status["directory"],
+        "spec_fingerprint": status["spec_fingerprint"],
+        "grid_jobs": int(status["grid_jobs"]),
+        "completed": int(status["completed"]),
+        "missing": list(status["missing"]),
+        "shards": [dict(shard) for shard in status["shards"]],
+    }
+
+
+# ----------------------------------------------------------------------
+# metricz
+# ----------------------------------------------------------------------
+def render_metricz(counters: Dict[str, float]) -> str:
+    """Flat ``name value`` lines, sorted — the ``/v1/metricz`` body."""
+    lines = []
+    for name in sorted(counters):
+        value = counters[name]
+        if isinstance(value, float):
+            lines.append(f"{name} {value:g}")
+        else:
+            lines.append(f"{name} {int(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def flatten_counters(payload: Dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested numeric counters into dotted metric names."""
+    flat: Dict[str, float] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            flat[name] = int(value)
+        elif isinstance(value, (int, float)):
+            flat[name] = value
+        elif isinstance(value, dict):
+            flat.update(flatten_counters(value, prefix=f"{name}."))
+    return flat
+
+
+def parse_metricz(text: str) -> Dict[str, float]:
+    """Invert :func:`render_metricz` (used by the client and tests)."""
+    counters: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        name, _, raw = line.rpartition(" ")
+        try:
+            counters[name] = float(raw)
+        except ValueError:
+            continue
+    return counters
+
+
+def error_payload(message: str, retry_after: Optional[float] = None) -> Dict:
+    """The JSON body of every non-2xx response."""
+    payload: Dict = {"error": message}
+    if retry_after is not None:
+        payload["retry_after"] = float(retry_after)
+    return payload

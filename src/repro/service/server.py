@@ -1,0 +1,1091 @@
+"""The leakage-analysis daemon: one engine, many clients, zero re-work.
+
+``repro-leakage serve`` starts a long-lived asyncio process that owns a
+single :class:`~repro.engine.ExecutionEngine` — and with it the
+content-addressed result store, the supervised backend chain, circuit
+breakers, validation gate and fault harness — and serves it over a
+hand-rolled HTTP/1.1 interface (stdlib only, ``asyncio.start_server``):
+
+====================================  =================================
+``POST /v1/jobs``                     job batch → per-item cached result
+                                      or ticket (429 when the admission
+                                      queue is full)
+``POST /v1/sweeps``                   a ``SweepSpec`` → one sweep ticket
+``GET /v1/tickets/<id>``              poll a ticket (state, events,
+                                      result)
+``GET /v1/tickets/<id>/events``       live SSE progress stream
+``GET /v1/status``                    full status document (shared
+                                      serializer with the CLI ``--json``
+                                      outputs)
+``GET /v1/metricz``                   flat ``name value`` counters
+``POST /v1/drain``                    stop admitting, keep serving reads
+``POST /v1/shutdown``                 graceful drain + exit
+====================================  =================================
+
+The serving discipline:
+
+* **Admission** (:mod:`repro.service.admission`): new computations take
+  bounded queue slots, full queues answer 429 + ``Retry-After``, and a
+  stride scheduler keyed by the ``X-Client`` header keeps one client
+  from starving the rest.
+* **Coalescing** (:mod:`repro.service.coalesce`): concurrent requests
+  for one content address share one computation; cached answers return
+  inline at admission time.
+* **Durability** (:mod:`repro.service.tickets`): every ticket persists
+  its state machine to disk.  SIGTERM drains — in-flight work finishes,
+  queued tickets stay journaled — and a restarted daemon resumes them,
+  the content-addressed store guaranteeing nothing is lost or computed
+  twice.
+* **Telemetry**: engine lifecycle events stream onto tickets via the
+  telemetry observer seam; shutdown records a ``ServiceProfile`` into
+  the manifest (v6) under ``<cache>/service/manifest.json``.
+
+One work item executes at a time — parallelism lives *inside* the
+engine (worker processes), so the daemon's concurrency model stays a
+single event loop plus one executor thread, and dispatch order is the
+deterministic stride order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import (
+    ExecutionEngine,
+    ResultStore,
+    SimulationJob,
+    atomic_write_json,
+)
+from ..errors import ReproError
+from ..sweep import ShardAssignment, SweepCoordinator, SweepSpec, expand
+from ..sweep import merge as sweep_merge
+from .admission import AdmissionFull, AdmissionQueue, WorkItem
+from .coalesce import CoalesceRegistry
+from .protocol import (
+    CLIENT_HEADER,
+    DEFAULT_CLIENT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    cache_info_payload,
+    dumps_stable,
+    error_payload,
+    execution_payload,
+    flatten_counters,
+    job_result_payload,
+    job_spec_payload,
+    parse_job_batch,
+    parse_job_spec,
+    render_metricz,
+)
+from .tickets import KIND_JOB, KIND_SWEEP, Ticket, TicketRegistry
+
+#: Subdirectory of the cache dir owning service state (tickets, manifest).
+SERVICE_SUBDIR = "service"
+
+#: Default TCP port (no registered meaning; "LEAK" on a phone pad is long
+#: gone, so: the paper's 70 nm node x 119).
+DEFAULT_PORT = 8330
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro-leakage serve`` configures."""
+
+    host: str = "127.0.0.1"
+    port: Optional[int] = None  #: ``None`` with no socket -> DEFAULT_PORT.
+    socket: Optional[str] = None  #: Unix-socket path (instead of TCP).
+    jobs: Optional[int] = None
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    max_queue: int = 256
+    #: Floor for the 429 ``Retry-After`` hint, seconds.
+    retry_after: float = 1.0
+    #: Per-client fairness weights (unlisted clients weigh 1.0).
+    client_weights: Dict[str, float] = field(default_factory=dict)
+
+
+class _SweepState:
+    """In-memory bookkeeping for one live sweep ticket."""
+
+    __slots__ = (
+        "spec",
+        "pending",
+        "jobs",
+        "journal",
+        "cached",
+        "queued",
+        "coalesced",
+        "finalizing",
+    )
+
+    def __init__(self, spec: SweepSpec, journal) -> None:
+        self.spec = spec
+        self.pending: set = set()
+        self.jobs: Dict[str, SimulationJob] = {}
+        self.journal = journal
+        self.cached = 0
+        self.queued = 0
+        self.coalesced = 0
+        self.finalizing = False
+
+
+class ServiceDaemon:
+    """The daemon: admission, coalescing, scheduling, tickets, HTTP."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.store = ResultStore(self.config.cache_dir)
+        self.engine = ExecutionEngine(
+            jobs=self.config.jobs,
+            store=self.store,
+            backend=self.config.backend,
+        )
+        self.service_dir = self.store.directory / SERVICE_SUBDIR
+        self.tickets = TicketRegistry(self.service_dir / "tickets")
+        self.queue = AdmissionQueue(
+            self.config.max_queue, self.config.client_weights
+        )
+        self.coalesce = CoalesceRegistry()
+        self._sweeps: Dict[str, _SweepState] = {}
+        self._ticket_waiters: Dict[str, List[asyncio.Event]] = {}
+        self._current_ticket: Optional[Ticket] = None
+        self._draining = False
+        self._started = time.monotonic()
+        self.port: Optional[int] = None  #: Bound TCP port once serving.
+        #: Lifetime counters (ServiceProfile + /v1/metricz).
+        self.requests: Dict[str, int] = {}
+        self.immediate_cache_hits = 0
+        self.computed_jobs = 0
+        self.compute_seconds = 0.0
+        self.resumed_tickets = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._work: Optional[asyncio.Event] = None
+        self._shutdown_requested: Optional[asyncio.Event] = None
+        self.engine.telemetry.subscribe(self._engine_event)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Resume journaled tickets, start the scheduler and listeners."""
+        self._loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._shutdown_requested = asyncio.Event()
+        self._resume_tickets()
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+        if self.config.socket:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.socket
+            )
+            self._servers.append(server)
+            where = f"unix:{self.config.socket}"
+        else:
+            port = (
+                DEFAULT_PORT if self.config.port is None else self.config.port
+            )
+            server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host, port=port
+            )
+            self._servers.append(server)
+            self.port = server.sockets[0].getsockname()[1]
+            where = f"http://{self.config.host}:{self.port}"
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(
+            f"repro-leakage service: serving on {where} "
+            f"(cache {self.store.describe()}, backend {self.engine.backend}, "
+            f"queue limit {self.queue.limit})",
+            file=sys.stderr,
+        )
+
+    async def run(self) -> None:
+        """Serve until SIGTERM/SIGINT or ``POST /v1/shutdown``."""
+        await self.start()
+        await self._shutdown_requested.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (signal handlers and ``/v1/shutdown``)."""
+        self.initiate_drain("shutdown requested")
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    def initiate_drain(self, reason: str) -> None:
+        """Stop admitting work; reads keep serving, POSTs get 503."""
+        if not self._draining:
+            self._draining = True
+            self.engine.telemetry.note(f"service drain: {reason}")
+        if self._work is not None:
+            self._work.set()
+
+    async def stop(self) -> None:
+        """Drain, finish the in-flight item, journal the rest, exit."""
+        self.initiate_drain("stopping")
+        if self._scheduler_task is not None:
+            await self._scheduler_task
+        queued = [t for t in self.tickets.all() if t.state == "queued"]
+        self.engine.telemetry.record_service(self.service_profile())
+        self.engine.telemetry.record_store(self.store)
+        atomic_write_json(
+            self.service_dir / "manifest.json",
+            self.engine.telemetry.manifest(),
+        )
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        print(
+            f"repro-leakage service: drained "
+            f"({len(queued)} queued ticket(s) journaled for resume); "
+            f"manifest: {self.service_dir / 'manifest.json'}",
+            file=sys.stderr,
+        )
+
+    # ------------------------------------------------------------------
+    # Restart resume
+    # ------------------------------------------------------------------
+    def _resume_tickets(self) -> None:
+        """Re-admit every journaled non-terminal ticket, in order.
+
+        Resume admission is *internal* — the bound never refuses work the
+        daemon already promised.  A ticket whose computation actually
+        finished before the crash resolves instantly from the cache;
+        duplicates coalesce; nothing runs twice.
+        """
+        for ticket in self.tickets.load():
+            self.resumed_tickets += 1
+            try:
+                if ticket.kind == KIND_SWEEP:
+                    spec = SweepSpec.from_dict(ticket.spec)
+                    self._admit_sweep(ticket, spec, internal=True)
+                else:
+                    job = parse_job_spec(ticket.spec)
+                    ticket.coalesced_with = None
+                    self._admit_job_ticket(ticket, job, internal=True)
+            except ReproError as error:
+                self.tickets.transition(
+                    ticket, "failed", error=f"resume failed: {error}"
+                )
+                continue
+            self._publish(ticket, {"event": "resumed"})
+
+    # ------------------------------------------------------------------
+    # Admission (event-loop only)
+    # ------------------------------------------------------------------
+    def _retry_after(self) -> float:
+        """The 429 hint: queue depth x observed seconds per computation."""
+        average = (
+            self.compute_seconds / self.computed_jobs
+            if self.computed_jobs
+            else 2.0
+        )
+        return max(
+            float(self.config.retry_after),
+            (self.queue.depth + 1) * average,
+        )
+
+    def _classify(self, job: SimulationJob) -> Tuple[str, object]:
+        """What admitting this job would do: coalesce, hit, or compute."""
+        key = job.key()
+        leader = self.coalesce.leader_for(key)
+        if leader is not None:
+            return "coalesce", leader
+        hit = self.store.get(key)
+        if hit is not None:
+            return "cached", hit
+        return "new", None
+
+    def _admit_job_ticket(
+        self, ticket: Ticket, job: SimulationJob, internal: bool = False
+    ) -> str:
+        """Queue or coalesce an existing ticket; returns its disposition."""
+        key = job.key()
+        leader = self.coalesce.leader_for(key)
+        if leader is not None and leader != ticket.id:
+            ticket.coalesced_with = leader
+            self.coalesce.attach(key, ticket.id)
+            self._publish(ticket, {"event": "coalesced", "leader": leader})
+            return "coalesced"
+        hit = self.store.get(key)
+        if hit is not None:
+            self.immediate_cache_hits += 1
+            result = job_result_payload(job, hit)
+            self.tickets.transition(
+                ticket,
+                "done",
+                result={
+                    "result": result,
+                    "execution": {
+                        "source": "cached",
+                        "attempts": 0,
+                        "wall_seconds": 0.0,
+                        "coalesced": False,
+                    },
+                },
+            )
+            self._publish(ticket, {"event": "cache-hit", "key": key})
+            self._notify_waiters(ticket.id)
+            return "cached"
+        if ticket.state != "queued":
+            self.tickets.transition(ticket, "queued")
+        self.coalesce.begin(key, ticket.id)
+        self.queue.admit(
+            WorkItem(ticket.id, key, ticket.client, internal=internal)
+        )
+        self._publish(ticket, {"event": "admitted", "key": key})
+        if self._work is not None:
+            self._work.set()
+        return "queued"
+
+    def submit_jobs(self, jobs: List[SimulationJob], client: str) -> Dict:
+        """Admit one job batch; per-item cached results or tickets.
+
+        Whole-batch admission: either every new computation in the batch
+        gets a slot, or the entire request is refused with
+        :class:`AdmissionFull` — a half-admitted batch is a promise the
+        client cannot reason about.
+        """
+        plans = [(job, self._classify(job)) for job in jobs]
+        new_keys = {
+            job.key()
+            for job, (disposition, _) in plans
+            if disposition == "new"
+        }
+        if new_keys and not self.queue.can_admit(len(new_keys)):
+            self.queue.reject_batch(client, len(new_keys))
+            raise AdmissionFull(
+                f"admission queue cannot take {len(new_keys)} more "
+                f"computation(s) ({self.queue.depth}/{self.queue.limit} "
+                "slots used)",
+                depth=self.queue.depth,
+                limit=self.queue.limit,
+            )
+        items = []
+        for job, (disposition, extra) in plans:
+            key = job.key()
+            # Re-classify inside the batch: an earlier duplicate item may
+            # have become this key's leader.
+            leader = self.coalesce.leader_for(key)
+            if disposition == "cached":
+                self.immediate_cache_hits += 1
+                items.append(
+                    {
+                        "status": "cached",
+                        "key": key,
+                        "spec": job_spec_payload(job),
+                        "result": job_result_payload(job, extra),
+                        "execution": {
+                            "source": "cached",
+                            "attempts": 0,
+                            "wall_seconds": 0.0,
+                            "coalesced": False,
+                        },
+                    }
+                )
+                continue
+            if leader is not None:
+                ticket = self.tickets.create(
+                    KIND_JOB,
+                    job_spec_payload(job),
+                    key,
+                    client,
+                    coalesced_with=leader,
+                )
+                self.coalesce.attach(key, ticket.id)
+                self._publish(
+                    ticket, {"event": "coalesced", "leader": leader}
+                )
+                items.append(
+                    {
+                        "status": "coalesced",
+                        "key": key,
+                        "spec": job_spec_payload(job),
+                        "ticket": ticket.id,
+                        "leader": leader,
+                    }
+                )
+                continue
+            ticket = self.tickets.create(
+                KIND_JOB, job_spec_payload(job), key, client
+            )
+            self.coalesce.begin(key, ticket.id)
+            self.queue.admit(WorkItem(ticket.id, key, client))
+            self._publish(ticket, {"event": "admitted", "key": key})
+            items.append(
+                {
+                    "status": "queued",
+                    "key": key,
+                    "spec": job_spec_payload(job),
+                    "ticket": ticket.id,
+                }
+            )
+        if self._work is not None:
+            self._work.set()
+        return {"items": items}
+
+    def submit_sweep(self, spec: SweepSpec, client: str) -> Dict:
+        """Admit a whole sweep; returns its single ticket."""
+        points = expand(spec)
+        new_keys = set()
+        for point in points:
+            disposition, _ = self._classify(point.job)
+            if disposition == "new":
+                new_keys.add(point.key())
+        if new_keys and not self.queue.can_admit(len(new_keys)):
+            self.queue.reject_batch(client, len(new_keys))
+            raise AdmissionFull(
+                f"admission queue cannot take the sweep's {len(new_keys)} "
+                f"new computation(s) ({self.queue.depth}/{self.queue.limit} "
+                "slots used)",
+                depth=self.queue.depth,
+                limit=self.queue.limit,
+            )
+        ticket = self.tickets.create(
+            KIND_SWEEP, spec.to_dict(), spec.fingerprint(), client
+        )
+        try:
+            self._admit_sweep(ticket, spec, internal=False)
+        except ReproError as error:  # e.g. spec fingerprint conflict
+            self.tickets.transition(ticket, "failed", error=str(error))
+            self._notify_waiters(ticket.id)
+            raise
+        state = self._sweeps.get(ticket.id)
+        return {
+            "ticket": ticket.id,
+            "sweep": spec.name,
+            "spec_fingerprint": spec.fingerprint(),
+            "points": len(points),
+            "queued": state.queued if state else 0,
+            "cached": state.cached if state else 0,
+            "coalesced": state.coalesced if state else 0,
+        }
+
+    def _admit_sweep(
+        self, ticket: Ticket, spec: SweepSpec, internal: bool
+    ) -> None:
+        """Expand a sweep ticket into watched points + a finalize step."""
+        coordinator = SweepCoordinator(spec, self.store.directory)
+        coordinator.ensure_spec()
+        journal = coordinator.shard_journal(ShardAssignment())
+        if journal.exists():
+            journal.load()  # resumed sweep: keep the journal duplicate-free
+        state = _SweepState(spec, journal)
+        self._sweeps[ticket.id] = state
+        if ticket.state != "running":
+            self.tickets.transition(ticket, "running")
+        for point in expand(spec):
+            job = point.job
+            key = point.key()
+            state.jobs[key] = job
+            disposition, _ = self._classify(job)
+            if disposition == "cached":
+                state.cached += 1
+                journal.record(job)
+                continue
+            state.pending.add(key)
+            self.coalesce.watch(key, ticket.id)
+            if disposition == "coalesce":
+                state.coalesced += 1
+                continue
+            leader = self.tickets.create(
+                KIND_JOB, job_spec_payload(job), key, ticket.client
+            )
+            self.coalesce.begin(key, leader.id)
+            self.queue.admit(
+                WorkItem(leader.id, key, ticket.client, internal=internal)
+            )
+            self._publish(leader, {"event": "admitted", "key": key})
+            state.queued += 1
+        self._publish(
+            ticket,
+            {
+                "event": "sweep-admitted",
+                "points": len(state.jobs),
+                "pending": len(state.pending),
+                "cached": state.cached,
+                "coalesced": state.coalesced,
+            },
+        )
+        if not state.pending:
+            self._enqueue_finalize(ticket, state)
+        elif self._work is not None:
+            self._work.set()
+
+    def _enqueue_finalize(self, ticket: Ticket, state: _SweepState) -> None:
+        if state.finalizing:
+            return
+        state.finalizing = True
+        self.queue.admit(
+            WorkItem(ticket.id, ticket.key, ticket.client, internal=True)
+        )
+        self._publish(ticket, {"event": "finalize-queued"})
+        if self._work is not None:
+            self._work.set()
+
+    # ------------------------------------------------------------------
+    # Scheduler (one work item at a time; engine parallelizes inside)
+    # ------------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        while True:
+            if self._draining:
+                break
+            item = self.queue.pop()
+            if item is None:
+                self._work.clear()
+                if self._draining:
+                    break
+                await self._work.wait()
+                continue
+            await self._run_item(item)
+
+    async def _run_item(self, item: WorkItem) -> None:
+        ticket = self.tickets.get(item.ticket_id)
+        if ticket is None or ticket.terminal:
+            return
+        if ticket.kind == KIND_SWEEP:
+            await self._run_sweep_finalize(ticket)
+            return
+        try:
+            job = parse_job_spec(ticket.spec)
+        except ReproError as error:
+            self.tickets.transition(ticket, "failed", error=str(error))
+            self._notify_waiters(ticket.id)
+            return
+        self.tickets.transition(ticket, "running")
+        self._publish(ticket, {"event": "computing", "key": ticket.key})
+        self._current_ticket = ticket
+        start = time.perf_counter()
+        try:
+            outcome = await self._loop.run_in_executor(
+                None, self.engine.run_one, job
+            )
+        except Exception as error:
+            self._current_ticket = None
+            self._fail_computation(
+                ticket, f"{type(error).__name__}: {error}"
+            )
+            return
+        self._current_ticket = None
+        self.compute_seconds += time.perf_counter() - start
+        self.computed_jobs += 1
+        result = job_result_payload(job, outcome.annotated)
+        execution = execution_payload(outcome)
+        self.tickets.transition(
+            ticket, "done", result={"result": result, "execution": execution}
+        )
+        self._publish(ticket, {"event": "done", "source": outcome.source})
+        self._notify_waiters(ticket.id)
+        self._complete_key(ticket.key, job, result, execution)
+
+    def _complete_key(
+        self, key: str, job: SimulationJob, result: Dict, execution: Dict
+    ) -> None:
+        """Resolve followers and sweep watchers of a finished key."""
+        watchers = self.coalesce.watchers(key)
+        followers = self.coalesce.complete(key)
+        for follower_id in followers:
+            follower = self.tickets.get(follower_id)
+            if follower is None or follower.terminal:
+                continue
+            shared = dict(execution)
+            shared["coalesced"] = True
+            self.tickets.transition(
+                follower,
+                "done",
+                result={"result": result, "execution": shared},
+            )
+            self._publish(follower, {"event": "done", "coalesced": True})
+            self._notify_waiters(follower.id)
+        for sweep_id in watchers:
+            sweep = self.tickets.get(sweep_id)
+            state = self._sweeps.get(sweep_id)
+            if sweep is None or state is None or sweep.terminal:
+                continue
+            state.pending.discard(key)
+            state.journal.record(job)
+            self._publish(
+                sweep,
+                {
+                    "event": "point-completed",
+                    "job": job.describe(),
+                    "remaining": len(state.pending),
+                },
+            )
+            if not state.pending:
+                self._enqueue_finalize(sweep, state)
+
+    def _fail_computation(self, ticket: Ticket, error: str) -> None:
+        """A computation exhausted every backend and retry: fail fan-out."""
+        key = ticket.key
+        self.tickets.transition(ticket, "failed", error=error)
+        self._publish(ticket, {"event": "failed", "error": error})
+        self._notify_waiters(ticket.id)
+        watchers = self.coalesce.watchers(key)
+        for follower_id in self.coalesce.complete(key):
+            follower = self.tickets.get(follower_id)
+            if follower is None or follower.terminal:
+                continue
+            self.tickets.transition(follower, "failed", error=error)
+            self._publish(follower, {"event": "failed", "error": error})
+            self._notify_waiters(follower.id)
+        for sweep_id in watchers:
+            sweep = self.tickets.get(sweep_id)
+            if sweep is None or sweep.terminal:
+                continue
+            self.tickets.transition(
+                sweep, "failed", error=f"sweep point failed: {error}"
+            )
+            self._publish(sweep, {"event": "failed", "error": error})
+            self._notify_waiters(sweep.id)
+            self._sweeps.pop(sweep_id, None)
+
+    async def _run_sweep_finalize(self, ticket: Ticket) -> None:
+        state = self._sweeps.get(ticket.id)
+        if state is None:
+            self.tickets.transition(
+                ticket, "failed", error="sweep state lost"
+            )
+            self._notify_waiters(ticket.id)
+            return
+        self._publish(ticket, {"event": "finalizing"})
+        self._current_ticket = ticket
+        try:
+            outcome = await self._loop.run_in_executor(
+                None,
+                lambda: sweep_merge(
+                    state.spec,
+                    cache_dir=self.store.directory,
+                    engine=self.engine,
+                ),
+            )
+        except Exception as error:
+            self._current_ticket = None
+            self._sweeps.pop(ticket.id, None)
+            self.tickets.transition(
+                ticket,
+                "failed",
+                error=f"merge failed: {type(error).__name__}: {error}",
+            )
+            self._publish(ticket, {"event": "failed", "error": str(error)})
+            self._notify_waiters(ticket.id)
+            return
+        self._current_ticket = None
+        state.journal.write_manifest(self.engine.telemetry.manifest())
+        self._sweeps.pop(ticket.id, None)
+        self.tickets.transition(
+            ticket,
+            "done",
+            result={
+                "report": outcome.report,
+                "report_sha256": outcome.manifest["report_sha256"],
+                "grid_jobs": outcome.manifest["grid_jobs"],
+                "cached_at_submit": state.cached,
+                "computed": state.queued,
+                "coalesced": state.coalesced,
+            },
+        )
+        self._publish(
+            ticket,
+            {
+                "event": "done",
+                "report_sha256": outcome.manifest["report_sha256"],
+            },
+        )
+        self._notify_waiters(ticket.id)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _engine_event(self, payload: Dict) -> None:
+        """Telemetry observer: marshal engine events onto the loop."""
+        loop, ticket = self._loop, self._current_ticket
+        if loop is None or ticket is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._publish, ticket, payload)
+        except RuntimeError:
+            pass  # loop already closed during shutdown
+
+    def _publish(self, ticket: Ticket, event: Dict) -> None:
+        if ticket.terminal and event.get("event") not in ("done", "failed"):
+            return
+        self.tickets.add_event(ticket, event)
+        self._notify_waiters(ticket.id)
+
+    def _notify_waiters(self, ticket_id: str) -> None:
+        for waiter in self._ticket_waiters.pop(ticket_id, []):
+            waiter.set()
+
+    # ------------------------------------------------------------------
+    # Status documents
+    # ------------------------------------------------------------------
+    def status_payload(self) -> Dict:
+        total = self.store.hits + self.store.misses
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "service": {
+                "draining": self._draining,
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "engine": {
+                    "backend": self.engine.backend,
+                    "chain": self.engine.supervisor.describe_chain()
+                    + ["serial"],
+                    "max_workers": self.engine.max_workers,
+                },
+                "admission": self.queue.snapshot(),
+                "coalesce": self.coalesce.snapshot(),
+                "tickets": self.tickets.counts(),
+                "requests": {
+                    name: self.requests[name]
+                    for name in sorted(self.requests)
+                },
+                "immediate_cache_hits": self.immediate_cache_hits,
+                "computed_jobs": self.computed_jobs,
+                "compute_seconds": round(self.compute_seconds, 6),
+                "resumed_tickets": self.resumed_tickets,
+                "store": {
+                    "hits": self.store.hits,
+                    "misses": self.store.misses,
+                    "hit_rate": self.store.hits / total if total else 0.0,
+                },
+                "breakers": self.engine.supervisor.snapshot()["states"],
+                "heartbeat_events": len(self.engine.telemetry.heartbeats),
+            },
+            "cache": cache_info_payload(self.store),
+        }
+
+    def service_profile(self) -> Dict:
+        """The manifest-v6 ``ServiceProfile`` section."""
+        return {
+            "draining": self._draining,
+            "admission": self.queue.snapshot(),
+            "coalesce": self.coalesce.snapshot(),
+            "tickets": self.tickets.counts(),
+            "requests": {
+                name: self.requests[name] for name in sorted(self.requests)
+            },
+            "immediate_cache_hits": self.immediate_cache_hits,
+            "computed_jobs": self.computed_jobs,
+            "compute_seconds": round(self.compute_seconds, 6),
+            "resumed_tickets": self.resumed_tickets,
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            self.requests[f"{method} {path.split('?')[0]}"] = (
+                self.requests.get(f"{method} {path.split('?')[0]}", 0) + 1
+            )
+            await self._route(writer, method, path, headers, body)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ValueError,
+        ):
+            pass
+        except ProtocolError as error:
+            await self._respond_json(writer, 400, error_payload(str(error)))
+        except Exception as error:  # never kill the daemon on one request
+            try:
+                await self._respond_json(
+                    writer,
+                    500,
+                    error_payload(f"{type(error).__name__}: {error}"),
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ProtocolError(f"malformed request line {line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_raw = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise ProtocolError(
+                f"bad Content-Length {length_raw!r}"
+            ) from None
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method.upper(), target, headers, body
+
+    async def _route(self, writer, method, target, headers, body) -> None:
+        path = target.split("?", 1)[0]
+        client = headers.get(CLIENT_HEADER.lower(), "") or DEFAULT_CLIENT
+        if path == "/v1/jobs" and method == "POST":
+            await self._handle_jobs(writer, client, body)
+        elif path == "/v1/sweeps" and method == "POST":
+            await self._handle_sweeps(writer, client, body)
+        elif path.startswith("/v1/tickets/") and method == "GET":
+            rest = path[len("/v1/tickets/"):]
+            if rest.endswith("/events"):
+                await self._handle_events(writer, rest[: -len("/events")])
+            else:
+                await self._handle_ticket(writer, rest)
+        elif path == "/v1/status" and method == "GET":
+            await self._respond_json(writer, 200, self.status_payload())
+        elif path == "/v1/metricz" and method == "GET":
+            counters = flatten_counters(
+                self.status_payload()["service"], prefix="repro_service."
+            )
+            await self._respond(
+                writer,
+                200,
+                render_metricz(counters).encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+            )
+        elif path == "/v1/drain" and method == "POST":
+            self.initiate_drain("drain requested over HTTP")
+            await self._respond_json(writer, 202, {"draining": True})
+        elif path == "/v1/shutdown" and method == "POST":
+            await self._respond_json(writer, 202, {"stopping": True})
+            self.request_shutdown()
+        elif path in (
+            "/v1/jobs",
+            "/v1/sweeps",
+            "/v1/status",
+            "/v1/metricz",
+            "/v1/drain",
+            "/v1/shutdown",
+        ):
+            await self._respond_json(
+                writer,
+                405,
+                error_payload(f"{method} not allowed on {path}"),
+            )
+        else:
+            await self._respond_json(
+                writer, 404, error_payload(f"unknown path {path!r}")
+            )
+
+    def _parse_body(self, body: bytes) -> Dict:
+        if not body:
+            raise ProtocolError("request body is empty")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ProtocolError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+
+    async def _handle_jobs(self, writer, client: str, body: bytes) -> None:
+        if self._draining:
+            await self._respond_json(
+                writer, 503, error_payload("service is draining")
+            )
+            return
+        jobs = parse_job_batch(self._parse_body(body))
+        try:
+            response = self.submit_jobs(jobs, client)
+        except AdmissionFull as error:
+            await self._respond_429(writer, str(error))
+            return
+        await self._respond_json(writer, 200, response)
+
+    async def _handle_sweeps(self, writer, client: str, body: bytes) -> None:
+        if self._draining:
+            await self._respond_json(
+                writer, 503, error_payload("service is draining")
+            )
+            return
+        try:
+            spec = SweepSpec.from_dict(self._parse_body(body))
+        except ReproError as error:
+            await self._respond_json(writer, 400, error_payload(str(error)))
+            return
+        try:
+            response = self.submit_sweep(spec, client)
+        except AdmissionFull as error:
+            await self._respond_429(writer, str(error))
+            return
+        except ReproError as error:  # e.g. spec fingerprint conflict
+            await self._respond_json(writer, 409, error_payload(str(error)))
+            return
+        await self._respond_json(writer, 200, response)
+
+    async def _handle_ticket(self, writer, ticket_id: str) -> None:
+        ticket = self.tickets.get(ticket_id)
+        if ticket is None:
+            await self._respond_json(
+                writer, 404, error_payload(f"no ticket {ticket_id!r}")
+            )
+            return
+        await self._respond_json(writer, 200, ticket.payload())
+
+    async def _handle_events(self, writer, ticket_id: str) -> None:
+        """SSE: stream ticket events until the ticket is terminal."""
+        ticket = self.tickets.get(ticket_id)
+        if ticket is None:
+            await self._respond_json(
+                writer, 404, error_payload(f"no ticket {ticket_id!r}")
+            )
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        sent = 0
+        while True:
+            events = ticket.events[sent:]
+            for event in events:
+                data = json.dumps(event, sort_keys=True)
+                writer.write(f"data: {data}\n\n".encode("utf-8"))
+            sent += len(events)
+            await writer.drain()
+            if ticket.terminal:
+                closing = json.dumps(
+                    {"state": ticket.state}, sort_keys=True
+                )
+                writer.write(f"event: end\ndata: {closing}\n\n".encode())
+                await writer.drain()
+                return
+            waiter = asyncio.Event()
+            self._ticket_waiters.setdefault(ticket.id, []).append(waiter)
+            if len(ticket.events) > sent or ticket.terminal:
+                continue  # appended between snapshot and registration
+            try:
+                await asyncio.wait_for(waiter.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _respond_429(self, writer, message: str) -> None:
+        hint = self._retry_after()
+        await self._respond_json(
+            writer,
+            429,
+            error_payload(message, retry_after=hint),
+            extra_headers={"Retry-After": str(int(math.ceil(hint)))},
+        )
+
+    async def _respond_json(
+        self, writer, status: int, payload: Dict, extra_headers=None
+    ) -> None:
+        await self._respond(
+            writer,
+            status,
+            dumps_stable(payload).encode("utf-8"),
+            extra_headers=extra_headers,
+        )
+
+    async def _respond(
+        self,
+        writer,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+class ServiceThread:
+    """Run a daemon on a background thread (tests, benchmarks, embedding).
+
+    ``start()`` blocks until the daemon is listening; ``stop()`` requests
+    graceful shutdown and joins.  The bound TCP port is ``self.port``
+    (pass ``port=0`` in the config for an ephemeral one).
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.daemon: Optional[ServiceDaemon] = None
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def start(self, timeout: float = 30.0) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("service thread did not become ready")
+        if self.error is not None:
+            raise ReproError(f"service failed to start: {self.error}")
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surface startup failures
+            self.error = error
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.daemon = ServiceDaemon(self.config)
+        await self.daemon.start()
+        self.port = self.daemon.port
+        self._ready.set()
+        await self.daemon._shutdown_requested.wait()
+        await self.daemon.stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        daemon = self.daemon
+        if daemon is not None and daemon._loop is not None:
+            try:
+                daemon._loop.call_soon_threadsafe(daemon.request_shutdown)
+            except RuntimeError:
+                pass
+        self._thread.join(timeout)

@@ -1,0 +1,261 @@
+"""Ticket lifecycle: the daemon's durable unit of promised work.
+
+Every admitted request becomes a :class:`Ticket` — a small state machine
+
+    queued ──> running ──> done
+       │          │
+       └──────────┴──────> failed
+
+persisted as one JSON file per ticket under
+``<cache>/service/tickets/`` via the engine's atomic-write checkpoint
+helper.  State transitions rewrite the file atomically, so a crashed or
+drained daemon leaves every ticket either terminal (``done``/``failed``
+with its result inline) or restartable (``queued``/``running``); on
+startup :meth:`TicketRegistry.load` returns the restartable ones in
+admission order and the daemon re-enqueues them.  Because results are
+content-addressed, re-running a ticket that actually finished before
+the crash is a pure cache hit — resume never loses or duplicates work.
+
+Progress *events* (job started / retried / validated / quarantined,
+backend degradations, cache hits) are kept in memory only: they feed
+the SSE stream and the poll endpoint, and an event history is worthless
+to a restarted daemon — the journal of record is the engine's.
+
+Coalesced tickets — followers attached to another ticket's computation
+— record their leader's id in ``coalesced_with``; the daemon resolves
+them the moment the leader completes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..engine import atomic_write_json
+from ..errors import ReproError
+from .protocol import TICKET_STATES
+
+#: States a ticket can be (re)started from after a daemon restart.
+RESUMABLE_STATES = ("queued", "running")
+
+#: Terminal states: the ticket file is the answer, never touched again.
+TERMINAL_STATES = ("done", "failed")
+
+#: Ticket kinds.
+KIND_JOB = "job"
+KIND_SWEEP = "sweep"
+
+
+class TicketError(ReproError):
+    """An invalid ticket transition or a malformed ticket file."""
+
+
+@dataclass
+class Ticket:
+    """One promised unit of work and everything known about it."""
+
+    id: str
+    kind: str  #: ``"job"`` or ``"sweep"``.
+    state: str
+    spec: Dict  #: Job spec payload or sweep spec dict (restart input).
+    key: str  #: Content address (job) or spec fingerprint (sweep).
+    client: str
+    seq: int  #: Admission order, monotonic across restarts.
+    coalesced_with: Optional[str] = None  #: Leader ticket id, if attached.
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    #: In-memory progress stream (not persisted; feeds SSE and polls).
+    events: List[Dict] = field(default_factory=list, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def payload(self, events_after: int = -1) -> Dict:
+        """JSON document for ``GET /v1/tickets/<id>``.
+
+        ``events_after`` trims the event list to sequence numbers above
+        it (poll resumption); the default returns every buffered event.
+        """
+        return {
+            "ticket": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "spec": dict(self.spec),
+            "key": self.key,
+            "client": self.client,
+            "coalesced_with": self.coalesced_with,
+            "result": None if self.result is None else dict(self.result),
+            "error": self.error,
+            "events": [
+                dict(event)
+                for event in self.events
+                if event.get("seq", 0) > events_after
+            ],
+        }
+
+    def record(self) -> Dict:
+        """The persisted (restart-relevant) subset of this ticket."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "spec": dict(self.spec),
+            "key": self.key,
+            "client": self.client,
+            "seq": self.seq,
+            "coalesced_with": self.coalesced_with,
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class TicketRegistry:
+    """All tickets the daemon has ever issued, persisted one file each.
+
+    Thread-safe for the two threads that touch it: the event loop
+    (admission, transitions) and the executor thread publishing engine
+    events.  Persistence failures are swallowed — a read-only disk costs
+    restartability, never availability.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self._tickets: Dict[str, Ticket] = {}
+        self._lock = threading.Lock()
+        self._next_seq = 1
+
+    # ------------------------------------------------------------------
+    # Creation and lookup
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        kind: str,
+        spec: Dict,
+        key: str,
+        client: str,
+        coalesced_with: Optional[str] = None,
+    ) -> Ticket:
+        """Issue a new queued ticket and persist it."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            ticket = Ticket(
+                id=f"t{seq:06d}-{key[:12]}",
+                kind=kind,
+                state="queued",
+                spec=dict(spec),
+                key=key,
+                client=client,
+                seq=seq,
+                coalesced_with=coalesced_with,
+            )
+            self._tickets[ticket.id] = ticket
+        self._persist(ticket)
+        return ticket
+
+    def get(self, ticket_id: str) -> Optional[Ticket]:
+        with self._lock:
+            return self._tickets.get(ticket_id)
+
+    def all(self) -> List[Ticket]:
+        with self._lock:
+            return sorted(self._tickets.values(), key=lambda t: t.seq)
+
+    def counts(self) -> Dict[str, int]:
+        """Tickets per state (every state listed, zeros included)."""
+        counts = {state: 0 for state in TICKET_STATES}
+        with self._lock:
+            for ticket in self._tickets.values():
+                counts[ticket.state] = counts.get(ticket.state, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Transitions and events
+    # ------------------------------------------------------------------
+    def transition(
+        self,
+        ticket: Ticket,
+        state: str,
+        result: Optional[Dict] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Move a ticket along the state machine and persist the change."""
+        if state not in TICKET_STATES:
+            raise TicketError(f"unknown ticket state {state!r}")
+        if ticket.terminal:
+            raise TicketError(
+                f"ticket {ticket.id} is already terminal ({ticket.state})"
+            )
+        with self._lock:
+            ticket.state = state
+            if result is not None:
+                ticket.result = dict(result)
+            if error is not None:
+                ticket.error = error
+        self._persist(ticket)
+
+    def add_event(self, ticket: Ticket, event: Dict) -> Dict:
+        """Append one progress event (sequence-numbered per ticket)."""
+        with self._lock:
+            stamped = dict(event)
+            stamped["seq"] = len(ticket.events) + 1
+            ticket.events.append(stamped)
+        return stamped
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _path(self, ticket_id: str) -> Path:
+        return self.directory / f"{ticket_id}.json"
+
+    def _persist(self, ticket: Ticket) -> None:
+        atomic_write_json(self._path(ticket.id), ticket.record())
+
+    def load(self) -> List[Ticket]:
+        """Restore persisted tickets; returns resumable ones in order.
+
+        Malformed files are skipped (a torn write can only happen to a
+        file being replaced, whose previous state was itself valid —
+        losing it degrades to recomputing one cached job).
+        """
+        records = []
+        try:
+            paths = sorted(self.directory.glob("t*.json"))
+        except OSError:
+            paths = []
+        for path in paths:
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(record, dict) or "id" not in record:
+                continue
+            records.append(record)
+        resumable: List[Ticket] = []
+        with self._lock:
+            for record in records:
+                try:
+                    ticket = Ticket(
+                        id=str(record["id"]),
+                        kind=str(record.get("kind", KIND_JOB)),
+                        state=str(record.get("state", "queued")),
+                        spec=dict(record.get("spec") or {}),
+                        key=str(record.get("key", "")),
+                        client=str(record.get("client", "")),
+                        seq=int(record.get("seq", 0)),
+                        coalesced_with=record.get("coalesced_with"),
+                        result=record.get("result"),
+                        error=record.get("error"),
+                    )
+                except (TypeError, ValueError):
+                    continue
+                self._tickets[ticket.id] = ticket
+                self._next_seq = max(self._next_seq, ticket.seq + 1)
+                if ticket.state in RESUMABLE_STATES:
+                    resumable.append(ticket)
+        resumable.sort(key=lambda t: t.seq)
+        return resumable

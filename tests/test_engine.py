@@ -303,7 +303,8 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 5
+        assert manifest["manifest_version"] == 6
+        assert manifest["service"] == {}
         assert manifest["retries"] == []
         assert manifest["faults"] == []
         assert manifest["quarantine"] == []
