@@ -99,6 +99,37 @@ def test_service_coalesced_round_trip(benchmark, served):
     assert result["instructions"] > 10_000
 
 
+def test_service_concurrent_dispatch(benchmark, served):
+    """A fresh 4-job batch fanned across the daemon's ``--jobs`` slots.
+
+    This is the bounded concurrent scheduler's headline number: with two
+    slots the batch should complete in roughly half the serialized wall
+    clock (admission order preserved, results byte-identical either way).
+    """
+    client = _client(served, "dispatch")
+
+    def run():
+        base = SCALE + next(_fresh_scales) * 1e-4
+        specs = [
+            {"benchmark": name, "scale": base + offset * 1e-6}
+            for offset, name in enumerate(("gzip", "ammp", "gzip", "ammp"))
+        ]
+        response = client.submit_jobs(specs)
+        documents = []
+        for item in response["items"]:
+            if item["status"] == "cached":
+                documents.append(item["result"])
+            else:
+                documents.append(
+                    client.wait(item["ticket"])["result"]["result"]
+                )
+        return documents
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 4
+    assert all(doc["instructions"] > 10_000 for doc in result)
+
+
 def test_service_saturation_requests_per_second(benchmark, served):
     """Cached submissions from four concurrent clients, end to end."""
     spec = {"benchmark": "gzip", "scale": SCALE}

@@ -439,14 +439,35 @@ def _add_serve_parser(commands) -> None:
         help="fairness weight for a client name (repeatable; "
         "unlisted clients weigh 1.0)",
     )
+    serve.add_argument(
+        "--peer-id", default=None, metavar="NAME",
+        help="stable daemon identity for multi-daemon coordination "
+        "(default: peer-<pid>); letters, digits, '.', '_', '-'",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease heartbeat TTL: peers reclaim a ticket lease whose "
+        "heartbeat is older than this (default 10.0)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=None, metavar="SECONDS",
+        help="how often to poll the shared store for a peer-owned "
+        "result (default 0.25)",
+    )
+    serve.add_argument(
+        "--ticket-ttl", type=float, default=None, metavar="SECONDS",
+        help="gc age: done/failed tickets and orphaned leases older "
+        "than this are pruned by 'submit gc' (default 3600)",
+    )
     serve.set_defaults(handler=serve_command)
 
 
 def _add_client_arguments(parser) -> None:
     parser.add_argument(
-        "--url", default=None, metavar="URL",
+        "--url", action="append", default=None, metavar="URL",
         help=f"service endpoint (default {DEFAULT_SERVICE_URL}; "
-        "'unix:PATH' for a Unix socket)",
+        "'unix:PATH' for a Unix socket; repeatable — extra URLs are "
+        "failover peers tried in order)",
     )
     parser.add_argument(
         "--socket", default=None, metavar="PATH",
@@ -489,6 +510,12 @@ def _add_submit_parser(commands) -> None:
         "--no-wait", action="store_true",
         help="print the admission response (tickets) and exit instead "
         "of waiting for results",
+    )
+    jobs.add_argument(
+        "--retry", type=int, default=1, metavar="N",
+        help="submission attempts: retry 429 rejections with capped "
+        "exponential backoff, failing over across --url peers on "
+        "connection errors (default 1 = no retry)",
     )
     _add_client_arguments(jobs)
     jobs.set_defaults(handler=submit_jobs_command)
@@ -538,6 +565,16 @@ def _add_submit_parser(commands) -> None:
     )
     _add_client_arguments(shutdown)
     shutdown.set_defaults(handler=submit_shutdown_command)
+
+    gc = verbs.add_parser(
+        "gc", help="prune aged-out terminal tickets and orphaned leases"
+    )
+    gc.add_argument(
+        "--ticket-ttl", type=float, default=None, metavar="SECONDS",
+        help="override the daemon's configured gc age for this run",
+    )
+    _add_client_arguments(gc)
+    gc.set_defaults(handler=submit_gc_command)
 
 
 def _fail(message: str) -> int:
@@ -825,10 +862,37 @@ def serve_command(args) -> int:
             return _fail(f"--weight {entry!r}: the weight must be a number")
         if weight <= 0:
             return _fail(f"--weight {entry!r}: the weight must be positive")
+        if name in weights:
+            return _fail(
+                f"--weight {entry!r}: client {name!r} already has a weight"
+            )
         weights[name] = weight
+    if args.peer_id is not None:
+        from .engine.checkpoint import validate_run_id
+
+        try:
+            validate_run_id(args.peer_id, what="--peer-id")
+        except ReproError as error:
+            return _fail(str(error))
+    for flag, value in (
+        ("--lease-ttl", args.lease_ttl),
+        ("--poll-interval", args.poll_interval),
+        ("--ticket-ttl", args.ticket_ttl),
+    ):
+        if value is not None and value <= 0:
+            return _fail(f"{flag} must be positive, got {value}")
     if args.socket and args.port is not None:
         return _fail("--socket and --port are mutually exclusive")
     try:
+        config_overrides = {}
+        if args.peer_id is not None:
+            config_overrides["peer_id"] = args.peer_id
+        if args.lease_ttl is not None:
+            config_overrides["lease_ttl"] = args.lease_ttl
+        if args.poll_interval is not None:
+            config_overrides["poll_interval"] = args.poll_interval
+        if args.ticket_ttl is not None:
+            config_overrides["ticket_ttl"] = args.ticket_ttl
         daemon_config = ServiceConfig(
             host=args.host,
             port=args.port,
@@ -838,6 +902,7 @@ def serve_command(args) -> int:
             max_queue=args.max_queue,
             retry_after=args.retry_after,
             client_weights=weights,
+            **config_overrides,
         )
         daemon = ServiceDaemon(daemon_config)
         asyncio.run(daemon.run())
@@ -851,10 +916,10 @@ def _service_client(args):
 
     if args.url and args.socket:
         raise ReproError("--url and --socket are mutually exclusive")
-    url = args.url or (
+    urls = args.url or [
         f"unix:{args.socket}" if args.socket else DEFAULT_SERVICE_URL
-    )
-    return ServiceClient(url, client=args.client, timeout=args.timeout)
+    ]
+    return ServiceClient(urls, client=args.client, timeout=args.timeout)
 
 
 def _rejected(rejected) -> int:
@@ -878,9 +943,16 @@ def submit_jobs_command(args) -> int:
     specs = [
         {"benchmark": name, "scale": args.scale} for name in benchmarks
     ]
+    if args.retry < 1:
+        return _fail(f"--retry must be at least 1, got {args.retry}")
     try:
         client = _service_client(args)
-        response = client.submit_jobs(specs)
+        if args.retry > 1:
+            response = client.submit_with_retry(
+                specs, max_attempts=args.retry
+            )
+        else:
+            response = client.submit_jobs(specs)
         if args.no_wait:
             print(dumps_stable(response), end="")
             return 0
@@ -988,6 +1060,21 @@ def submit_shutdown_command(args) -> int:
 
     try:
         print(dumps_stable(_service_client(args).shutdown()), end="")
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def submit_gc_command(args) -> int:
+    from .service.protocol import dumps_stable
+
+    if args.ticket_ttl is not None and args.ticket_ttl <= 0:
+        return _fail(f"--ticket-ttl must be positive, got {args.ticket_ttl}")
+    try:
+        print(
+            dumps_stable(_service_client(args).gc(ttl=args.ticket_ttl)),
+            end="",
+        )
     except ReproError as error:
         return _fail(str(error))
     return 0

@@ -70,7 +70,12 @@ from .jobs import (
     SimulationJob,
     execute_job,
 )
-from .parallel import ENV_JOBS, ExecutionEngine, resolve_worker_count
+from .parallel import (
+    ENV_JOBS,
+    EngineFleet,
+    ExecutionEngine,
+    resolve_worker_count,
+)
 from .retry import (
     ENV_RETRIES,
     ENV_RETRY_DELAY,
@@ -99,6 +104,7 @@ from .supervise import (
     Supervisor,
     default_breaker_cooldown,
     default_breaker_threshold,
+    merge_breaker_snapshots,
 )
 from .telemetry import MANIFEST_VERSION, JobRecord, RunTelemetry, Stopwatch
 from .validate import InvalidResultError, check_result
@@ -120,6 +126,7 @@ __all__ = [
     "ENV_RETRIES",
     "ENV_RETRY_DELAY",
     "ENV_WATCHDOG",
+    "EngineFleet",
     "ExecutionEngine",
     "FLAP_EXIT_CODE",
     "FaultPlan",
@@ -165,6 +172,7 @@ __all__ = [
     "default_watchdog",
     "execute_job",
     "iter_run_manifests",
+    "merge_breaker_snapshots",
     "parse_fault_plan",
     "resolve_backend_name",
     "resolve_cache_dir",

@@ -32,6 +32,7 @@ produce bit-identical results; the engine only changes *when* and
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,7 +51,7 @@ from .jobs import (
 from .retry import RetryPolicy, default_retry_policy
 from .robustness import default_job_timeout
 from .store import ResultStore
-from .supervise import Supervisor
+from .supervise import Supervisor, merge_breaker_snapshots
 from .telemetry import RunTelemetry, Stopwatch
 from .validate import InvalidResultError, check_result
 
@@ -365,3 +366,100 @@ class ExecutionEngine:
     def _journal_record(self, job: SimulationJob) -> None:
         if self.journal is not None:
             self.journal.record(job)
+
+
+class EngineFleet:
+    """N single-slot engines sharing one store and one telemetry.
+
+    :class:`ExecutionEngine` is built for one caller at a time — its
+    :class:`~repro.engine.supervise.Supervisor` mutates breaker state
+    per dispatch and is not thread-safe.  A daemon that wants to run
+    several WorkItems *concurrently* therefore cannot funnel them
+    through one engine; it checks a slot engine out of this fleet per
+    item instead.  Every slot shares the fleet's result store (so cache
+    hits, coalescing and the coordination layer's guarded publishes see
+    one source of truth) and the fleet's :class:`RunTelemetry` (which is
+    lock-protected for exactly this arrangement); each slot owns its
+    own supervisor, journal-free and one worker wide.
+
+    Slots are created lazily and recycled, so a mostly-idle daemon pays
+    for one engine, a saturated one for ``slots``.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        store: Optional[object] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        backend: Optional[str] = None,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if slots < 1:
+            raise EngineError(f"fleet slots must be at least 1, got {slots!r}")
+        self.slots = int(slots)
+        self.store = store if store is not None else ResultStore()
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
+        self.backend = backend
+        self.timeout = timeout
+        self.retry = retry
+        self.faults = faults
+        self._idle: List[ExecutionEngine] = []
+        self._all: List[ExecutionEngine] = []
+        self._lock = threading.Lock()
+
+    def _build_slot(self) -> ExecutionEngine:
+        return ExecutionEngine(
+            jobs=1,
+            store=self.store,
+            telemetry=self.telemetry,
+            backend=self.backend,
+            timeout=self.timeout,
+            retry=self.retry,
+            faults=self.faults,
+        )
+
+    def acquire(self) -> ExecutionEngine:
+        """Check out an idle slot engine, creating one when none is free.
+
+        Callers are expected to bound their concurrency to
+        :attr:`slots` (the service daemon does, with a semaphore); the
+        fleet itself never blocks — an over-subscribed caller simply
+        grows extra slots rather than deadlocking.
+        """
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+            engine = self._build_slot()
+            self._all.append(engine)
+            return engine
+
+    def release(self, engine: ExecutionEngine) -> None:
+        """Return a slot engine to the idle pool."""
+        with self._lock:
+            self._idle.append(engine)
+
+    def run_one(self, job: SimulationJob) -> JobOutcome:
+        """Run one job on a checked-out slot (acquire/run/release)."""
+        engine = self.acquire()
+        try:
+            return engine.run_one(job)
+        finally:
+            self.release(engine)
+
+    @property
+    def engines(self) -> List[ExecutionEngine]:
+        with self._lock:
+            return list(self._all)
+
+    def breaker_snapshot(self) -> Dict:
+        """Every slot's breaker state merged into one manifest section."""
+        return merge_breaker_snapshots(
+            [engine.supervisor.snapshot() for engine in self.engines]
+        )
+
+    def finalize(self) -> None:
+        """Record merged breakers + store counters into the telemetry."""
+        self.telemetry.record_breakers(self.breaker_snapshot())
+        self.telemetry.record_store(self.store)

@@ -250,3 +250,31 @@ class Supervisor:
                     (job, exhausted.get(job, remaining.get(job, 0)))
                 )
         return out
+
+
+#: Breaker states ordered by severity, for cross-slot merging.
+_STATE_RANK = {"closed": 0, "half-open": 1, "open": 2}
+
+
+def merge_breaker_snapshots(snapshots: Sequence[Dict]) -> Dict:
+    """Combine per-slot :meth:`Supervisor.snapshot` dicts into one view.
+
+    A fleet of engine slots (one supervisor each — supervisors are not
+    thread-safe, so concurrent slots cannot share one) still wants a
+    single ``breakers`` section in the manifest.  States merge to the
+    *most degraded* state any slot observed per backend, transitions
+    concatenate in slot order, and trips sum.
+    """
+    states: Dict[str, str] = {}
+    transitions: List[Dict] = []
+    trips = 0
+    for snapshot in snapshots:
+        for name, state in snapshot.get("states", {}).items():
+            current = states.get(name)
+            if current is None or (
+                _STATE_RANK.get(state, 0) > _STATE_RANK.get(current, 0)
+            ):
+                states[name] = state
+        transitions.extend(dict(t) for t in snapshot.get("transitions", []))
+        trips += int(snapshot.get("trips", 0))
+    return {"states": states, "transitions": transitions, "trips": trips}

@@ -20,6 +20,7 @@ observers that raise are dropped from the event, never from the run.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,8 +42,12 @@ from .jobs import SOURCE_CACHED, JobOutcome
 #: their totals, and cache-quarantine counts in the ``store`` section;
 #: version 6 added the ``service`` section (the ``ServiceProfile`` a
 #: daemon run records: admission, coalescing, per-client and ticket
-#: counters — empty for plain CLI runs).
-MANIFEST_VERSION = 6
+#: counters — empty for plain CLI runs); version 7 added the
+#: ``coordination`` section (the ``CoordinationProfile`` of a
+#: multi-daemon fleet: peer id, lease acquire/reclaim/fence counters,
+#: guarded-publish outcomes, remote-coalescing and GC totals — empty
+#: outside a coordinating daemon).
+MANIFEST_VERSION = 7
 
 
 class Stopwatch:
@@ -112,8 +117,16 @@ class RunTelemetry:
     #: The ``ServiceProfile`` of a daemon-owned run (manifest v6); empty
     #: for plain CLI runs.
     service: Dict = field(default_factory=dict)
+    #: The ``CoordinationProfile`` of a multi-daemon fleet (manifest
+    #: v7); empty outside a coordinating daemon.
+    coordination: Dict = field(default_factory=dict)
     #: Live event observers (not part of the manifest).
     observers: List[Callable] = field(default_factory=list, repr=False)
+    #: Guards the record lists when several engine slots of one fleet
+    #: share this telemetry and record from their own executor threads.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Streaming observers
@@ -153,30 +166,30 @@ class RunTelemetry:
         result = outcome.annotated.result
         # getattr: results cached before profiles existed lack the field.
         profile = getattr(result, "profile", None)
-        self.records.append(
-            JobRecord(
-                benchmark=outcome.job.benchmark,
-                scale=float(outcome.job.scale),
-                key=outcome.job.key(),
-                source=outcome.source,
-                wall_seconds=outcome.wall_seconds,
-                instructions=int(result.instructions),
-                cycles=int(result.cycles),
-                attempts=outcome.attempts,
-                kernel_mode=profile.mode if profile else "",
-                fast_path_accesses=(
-                    int(profile.fast_path_accesses) if profile else 0
-                ),
-                slow_path_accesses=(
-                    int(profile.slow_path_accesses) if profile else 0
-                ),
-                stage_seconds=(
-                    {k: float(v) for k, v in profile.stage_seconds.items()}
-                    if profile
-                    else {}
-                ),
-            )
+        record = JobRecord(
+            benchmark=outcome.job.benchmark,
+            scale=float(outcome.job.scale),
+            key=outcome.job.key(),
+            source=outcome.source,
+            wall_seconds=outcome.wall_seconds,
+            instructions=int(result.instructions),
+            cycles=int(result.cycles),
+            attempts=outcome.attempts,
+            kernel_mode=profile.mode if profile else "",
+            fast_path_accesses=(
+                int(profile.fast_path_accesses) if profile else 0
+            ),
+            slow_path_accesses=(
+                int(profile.slow_path_accesses) if profile else 0
+            ),
+            stage_seconds=(
+                {k: float(v) for k, v in profile.stage_seconds.items()}
+                if profile
+                else {}
+            ),
         )
+        with self._lock:
+            self.records.append(record)
 
     def record_failure(self, job, error: BaseException) -> None:
         """Add one permanently-failed job."""
@@ -186,17 +199,20 @@ class RunTelemetry:
             "key": job.key(),
             "error": f"{type(error).__name__}: {error}",
         }
-        self.failures.append(entry)
+        with self._lock:
+            self.failures.append(entry)
         self.emit("job-failed", **entry)
 
     def record_retry(self, entry: Dict) -> None:
         """Add one structured retry record (see ``PoolReport.retries``)."""
-        self.retries.append(dict(entry))
+        with self._lock:
+            self.retries.append(dict(entry))
         self.emit("job-retried", **dict(entry))
 
     def record_fault(self, description: str) -> None:
         """Add one injected-fault record (engine-side injections)."""
-        self.faults.append(description)
+        with self._lock:
+            self.faults.append(description)
         self.emit("fault-injected", description=description)
 
     def record_quarantine(self, job, violations, where: str) -> None:
@@ -208,25 +224,40 @@ class RunTelemetry:
             "where": where,
             "violations": [str(v) for v in violations],
         }
-        self.quarantines.append(entry)
+        with self._lock:
+            self.quarantines.append(entry)
         self.emit("result-quarantined", **entry)
 
     def record_heartbeat(self, entry: Dict) -> None:
         """Add one watchdog event (heartbeat gap or progress stall)."""
-        self.heartbeats.append(dict(entry))
+        with self._lock:
+            self.heartbeats.append(dict(entry))
         self.emit("heartbeat", **dict(entry))
 
     def record_breakers(self, snapshot: Dict) -> None:
         """Snapshot the supervisor's circuit breakers (idempotent)."""
-        self.breakers = dict(snapshot)
+        with self._lock:
+            self.breakers = dict(snapshot)
 
     def record_service(self, profile: Dict) -> None:
         """Attach the daemon's ``ServiceProfile`` (manifest v6 section)."""
         self.service = dict(profile)
 
+    def record_coordination(self, profile: Dict) -> None:
+        """Attach the fleet's ``CoordinationProfile`` (manifest v7).
+
+        Daemons record it on drain/shutdown: peer identity, lease
+        counters (acquired/contended/reclaimed/released/fenced),
+        guarded-publish outcomes, remote-coalescing totals and GC
+        sweeps.  Plain CLI runs never touch it, so their manifests keep
+        an empty section.
+        """
+        self.coordination = dict(profile)
+
     def note(self, message: str) -> None:
         """Attach a free-form robustness note (pool fallbacks, evictions)."""
-        self.notes.append(message)
+        with self._lock:
+            self.notes.append(message)
         self.emit("note", message=message)
 
     def record_store(self, store) -> None:
@@ -253,7 +284,8 @@ class RunTelemetry:
 
     def add_wall(self, seconds: float) -> None:
         """Accumulate run-level wall time (one engine.run call)."""
-        self.wall_seconds += seconds
+        with self._lock:
+            self.wall_seconds += seconds
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -387,6 +419,7 @@ class RunTelemetry:
             "breakers": dict(self.breakers),
             "store": dict(self.store_stats),
             "service": dict(self.service),
+            "coordination": dict(self.coordination),
         }
 
     def write_manifest(self, path) -> str:

@@ -16,11 +16,17 @@ and any number of clients submit jobs and sweeps over HTTP:
 * :mod:`~repro.service.coalesce` — request coalescing: one computation
   per in-flight content address, however many clients ask.
 * :mod:`~repro.service.tickets` — durable per-request state machines;
-  drain journals them, restart resumes them.
+  drain journals them, restart resumes them, ``gc`` prunes them.
+* :mod:`~repro.service.coordinate` — crash-consistent multi-daemon
+  coordination: O_EXCL lease files with fencing tokens and heartbeat
+  mtimes, deterministic stale-lease reclamation, and a guarded publish
+  that makes double-publication structurally impossible.
 * :mod:`~repro.service.server` — the asyncio daemon: HTTP/1.1 + SSE,
-  scheduling, graceful drain, the manifest-v6 ServiceProfile.
+  bounded concurrent scheduling, graceful drain, the manifest-v7
+  Service/Coordination profiles.
 * :mod:`~repro.service.client` — the blocking client library behind
-  ``repro-leakage submit``.
+  ``repro-leakage submit``, with capped-exponential-backoff retry and
+  peer-URL failover.
 
 Quickstart::
 
@@ -34,6 +40,16 @@ Quickstart::
 from .admission import STRIDE_SCALE, AdmissionFull, AdmissionQueue, WorkItem
 from .client import ServiceClient, ServiceError, ServiceRejected
 from .coalesce import CoalesceRegistry
+from .coordinate import (
+    COORDINATION_SUBDIR,
+    DEFAULT_LEASE_TTL,
+    CoordinationError,
+    CoordinationLog,
+    FencingCounter,
+    Lease,
+    LeaseManager,
+    LeasedStore,
+)
 from .protocol import (
     CLIENT_HEADER,
     DEFAULT_CLIENT,
@@ -65,11 +81,19 @@ __all__ = [
     "AdmissionFull",
     "AdmissionQueue",
     "CLIENT_HEADER",
+    "COORDINATION_SUBDIR",
     "CoalesceRegistry",
+    "CoordinationError",
+    "CoordinationLog",
     "DEFAULT_CLIENT",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_PORT",
+    "FencingCounter",
     "KIND_JOB",
     "KIND_SWEEP",
+    "Lease",
+    "LeaseManager",
+    "LeasedStore",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RESUMABLE_STATES",

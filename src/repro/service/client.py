@@ -21,7 +21,17 @@ threads.  Unix sockets work through the same URL parameter:
 
 Errors map onto two exceptions: :class:`ServiceRejected` for 429
 (carrying the parsed ``retry_after`` hint) and :class:`ServiceError`
-for everything else non-2xx.
+for everything else non-2xx (``status == 0`` meaning the endpoint was
+unreachable at the transport level).
+
+For fleets, the client takes a *list* of peer URLs and
+:meth:`ServiceClient.submit_with_retry` layers the serving discipline's
+client half on top: deterministic capped exponential backoff seeded by
+the 429 ``Retry-After`` hint, failover to the next peer on transport
+errors, and safe resubmission — job submissions are idempotent by
+construction, because jobs are content-addressed and daemons coalesce
+and cache by that address, so submitting the same batch twice can never
+compute (or bill) twice.
 """
 
 from __future__ import annotations
@@ -30,11 +40,15 @@ import http.client
 import json
 import socket
 import time
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 from urllib.parse import urlsplit
 
 from ..errors import ReproError
 from .protocol import CLIENT_HEADER, parse_metricz
+
+#: submit_with_retry defaults: first-retry backoff and the cap, seconds.
+DEFAULT_BACKOFF_BASE = 0.25
+DEFAULT_BACKOFF_CAP = 30.0
 
 
 class ServiceError(ReproError):
@@ -68,21 +82,16 @@ class _UnixConnection(http.client.HTTPConnection):
         self.sock = sock
 
 
-class ServiceClient:
-    """Blocking HTTP client for one service endpoint."""
+class _Endpoint:
+    """One parsed service address (TCP host:port or a Unix socket)."""
 
-    def __init__(
-        self,
-        url: str,
-        client: Optional[str] = None,
-        timeout: float = 300.0,
-    ) -> None:
+    __slots__ = ("url", "socket_path", "host", "port")
+
+    def __init__(self, url: str) -> None:
         self.url = url
-        self.client = client
-        self.timeout = timeout
         if url.startswith("unix:"):
-            self._socket_path: Optional[str] = url[len("unix:"):]
-            self._host, self._port = "localhost", None
+            self.socket_path: Optional[str] = url[len("unix:"):]
+            self.host, self.port = "localhost", None
         else:
             parts = urlsplit(url if "//" in url else f"http://{url}")
             if parts.scheme not in ("http", ""):
@@ -90,18 +99,63 @@ class ServiceClient:
                     f"unsupported service URL scheme {parts.scheme!r} "
                     "(http or unix only)"
                 )
-            self._socket_path = None
-            self._host = parts.hostname or "127.0.0.1"
-            self._port = parts.port or 80
+            self.socket_path = None
+            self.host = parts.hostname or "127.0.0.1"
+            self.port = parts.port or 80
+
+
+class ServiceClient:
+    """Blocking HTTP client for one service endpoint — or a fleet.
+
+    ``url`` may be a single URL or a list of peer URLs.  Plain requests
+    go to the *active* endpoint (initially the first); failover happens
+    explicitly in :meth:`submit_with_retry` or via :meth:`failover`, and
+    sticks — once a peer answers, subsequent requests stay with it.
+    """
+
+    def __init__(
+        self,
+        url: Union[str, Sequence[str]],
+        client: Optional[str] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        urls = [url] if isinstance(url, str) else list(url)
+        if not urls:
+            raise ServiceError("at least one service URL is required")
+        self._endpoints = [_Endpoint(u) for u in urls]
+        self._active = 0
+        self.client = client
+        self.timeout = timeout
+        #: Lifetime counters (exposed for tests and CLI diagnostics).
+        self.retries = 0
+        self.failovers = 0
+
+    @property
+    def url(self) -> str:
+        """The active endpoint's URL."""
+        return self._endpoints[self._active].url
+
+    @property
+    def urls(self) -> List[str]:
+        return [endpoint.url for endpoint in self._endpoints]
+
+    def failover(self) -> str:
+        """Advance to the next peer endpoint; returns its URL."""
+        self._active = (self._active + 1) % len(self._endpoints)
+        self.failovers += 1
+        return self.url
 
     # ------------------------------------------------------------------
     # Connection plumbing
     # ------------------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
-        if self._socket_path is not None:
-            return _UnixConnection(self._socket_path, timeout=self.timeout)
+        endpoint = self._endpoints[self._active]
+        if endpoint.socket_path is not None:
+            return _UnixConnection(
+                endpoint.socket_path, timeout=self.timeout
+            )
         return http.client.HTTPConnection(
-            self._host, self._port, timeout=self.timeout
+            endpoint.host, endpoint.port, timeout=self.timeout
         )
 
     def _headers(self) -> Dict[str, str]:
@@ -157,6 +211,84 @@ class ServiceClient:
     def submit_jobs(self, jobs: List[Dict]) -> Dict:
         """``POST /v1/jobs``: per-item cached results or tickets."""
         return self._request("POST", "/v1/jobs", {"jobs": list(jobs)})
+
+    @staticmethod
+    def backoff_delay(
+        attempt: int,
+        hint: Optional[float] = None,
+        base: float = DEFAULT_BACKOFF_BASE,
+        cap: float = DEFAULT_BACKOFF_CAP,
+    ) -> float:
+        """The deterministic capped-exponential delay before a retry.
+
+        ``attempt`` counts the request that just failed (1-based).  The
+        schedule doubles from ``base`` — ``base, 2*base, 4*base, ...`` —
+        but never waits less than the server's ``Retry-After`` hint
+        (which already prices in queue depth x compute time) and never
+        more than ``cap``.  No jitter on purpose: retry traces must
+        replay exactly in tests and incident reconstructions, and the
+        per-client stride scheduler already de-synchronizes peers.
+        """
+        exponential = base * (2.0 ** max(attempt - 1, 0))
+        return min(cap, max(float(hint or 0.0), exponential))
+
+    def submit_with_retry(
+        self,
+        jobs: List[Dict],
+        max_attempts: int = 8,
+        base: float = DEFAULT_BACKOFF_BASE,
+        cap: float = DEFAULT_BACKOFF_CAP,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict:
+        """Submit a job batch with backoff on 429 and peer failover.
+
+        * **429** — sleep :meth:`backoff_delay` (seeded by the server's
+          ``Retry-After`` hint) and resubmit.  Resubmission is safe:
+          jobs are content-addressed, so a batch that was half-served
+          before a refusal coalesces or cache-hits on the retry instead
+          of recomputing.
+        * **Unreachable** (``status == 0``) — fail over to the next peer
+          URL and retry immediately; a fleet serving one shared cache
+          directory gives byte-identical answers whichever peer ends up
+          computing.
+        * Any other error is not retried — it is the request's fault,
+          not the fleet's.
+
+        Raises the last :class:`ServiceRejected`/:class:`ServiceError`
+        once ``max_attempts`` submissions have failed.
+        """
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be at least 1, got {max_attempts!r}"
+            )
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.submit_jobs(jobs)
+            except ServiceRejected as refusal:
+                if attempt >= max_attempts:
+                    raise
+                self.retries += 1
+                sleep(
+                    self.backoff_delay(
+                        attempt, hint=refusal.retry_after,
+                        base=base, cap=cap,
+                    )
+                )
+            except ServiceError as error:
+                if error.status != 0 or attempt >= max_attempts:
+                    raise
+                self.retries += 1
+                if len(self._endpoints) > 1:
+                    self.failover()
+                else:
+                    sleep(self.backoff_delay(attempt, base=base, cap=cap))
+
+    def gc(self, ttl: Optional[float] = None) -> Dict:
+        """``POST /v1/gc``: prune old tickets, leases and markers."""
+        body = {} if ttl is None else {"ttl": float(ttl)}
+        return self._request("POST", "/v1/gc", body if body else None)
 
     def submit_sweep(self, spec: Dict) -> Dict:
         """``POST /v1/sweeps``: one sweep ticket for a SweepSpec dict."""

@@ -19,6 +19,14 @@ Sweep tickets ride the same registry: each grid point registers the
 sweep ticket as a *watcher* of that point's content address, so a sweep
 point, a direct job submission, and another sweep's overlapping point
 all share one computation.
+
+Under multi-daemon coordination (:mod:`repro.service.coordinate`) the
+registry also tracks *remote* computations: keys whose lease a peer
+daemon holds.  The local leader ticket for such a key doesn't compute —
+it watches the shared store for the peer's published result, and its
+followers and sweep watchers resolve from that exactly as if the
+computation had been local.  Coalescing is therefore fleet-wide: one
+computation per content address across N daemons.
 """
 
 from __future__ import annotations
@@ -36,9 +44,13 @@ class CoalesceRegistry:
         self._followers: Dict[str, List[str]] = {}
         #: key -> sweep ticket ids watching this point.
         self._watchers: Dict[str, List[str]] = {}
+        #: Keys whose computation a *peer daemon* owns (we watch).
+        self._remote: set = set()
         #: Lifetime counters.
         self.computations = 0
         self.coalesced = 0
+        self.remote_watches = 0
+        self.remote_results = 0
 
     def leader_for(self, key: str) -> Optional[str]:
         """The in-flight leader ticket for a key, if any."""
@@ -69,11 +81,34 @@ class CoalesceRegistry:
         """Close out a computation; returns the followers to resolve."""
         self._leaders.pop(key, None)
         self._watchers.pop(key, None)
+        self._remote.discard(key)
         return self._followers.pop(key, [])
+
+    # ------------------------------------------------------------------
+    # Cross-daemon computations
+    # ------------------------------------------------------------------
+    def remote_begin(self, key: str) -> None:
+        """Mark a key as computed by a peer daemon (we watch the store)."""
+        if key not in self._remote:
+            self._remote.add(key)
+            self.remote_watches += 1
+
+    def remote_done(self, key: str) -> None:
+        """A peer's result for a watched key landed in the shared store."""
+        if key in self._remote:
+            self._remote.discard(key)
+            self.remote_results += 1
+
+    def remote_keys(self) -> List[str]:
+        return sorted(self._remote)
 
     @property
     def in_flight(self) -> int:
         return len(self._leaders)
+
+    @property
+    def remote_in_flight(self) -> int:
+        return len(self._remote)
 
     def snapshot(self) -> Dict:
         """Registry state for ``/v1/status`` and the ServiceProfile."""
@@ -81,4 +116,7 @@ class CoalesceRegistry:
             "in_flight": self.in_flight,
             "computations": self.computations,
             "coalesced": self.coalesced,
+            "remote_in_flight": self.remote_in_flight,
+            "remote_watches": self.remote_watches,
+            "remote_results": self.remote_results,
         }

@@ -1,0 +1,646 @@
+"""Crash-consistent multi-daemon coordination over one cache directory.
+
+PR 6's daemon was a fleet of one: a single ``repro-leakage serve``
+process owned the cache, and a second daemon pointed at the same
+directory would have raced it.  This module is the protocol that lets N
+daemons (each started with its own ``--peer-id``) share one
+content-addressed cache safely — no ticket lost, none computed twice,
+even across ``kill -9``:
+
+* **Leases** (:class:`LeaseManager`).  Before computing a content
+  address, a peer claims it by creating
+  ``<cache>/service/coordination/leases/<key>.lease`` with
+  ``O_CREAT | O_EXCL`` — an atomic test-and-set the filesystem
+  guarantees — and fsyncs both the file and its directory so the claim
+  survives power loss.  The lease carries the peer id and a **fencing
+  token**; its mtime is the heartbeat, refreshed while the computation
+  runs.
+
+* **Fencing tokens** (:class:`FencingCounter`).  A monotonically
+  increasing integer minted by atomically creating ``fence/<n>`` files
+  (``O_EXCL`` again: two peers can never mint the same token).  Every
+  lease ever taken on a key has a strictly larger token than the lease
+  it replaced, which is what makes reclamation safe: a peer that was
+  declared dead and then resumes holds a *smaller* token than the
+  reclaimer, and loses every subsequent ownership check.
+
+* **Reclamation.**  A lease whose heartbeat mtime is older than the TTL
+  belongs to a dead (or wedged) peer.  Reclaiming is deterministic:
+  rename the stale lease into ``broken/`` — ``os.replace`` of a single
+  source path can only succeed for one renamer — then acquire a fresh
+  lease with a fresh, larger token.  The loser of the rename simply
+  retries the acquire and observes the new owner.
+
+* **Guarded publish** (:class:`LeasedStore`).  Results are published by
+  the engine's usual atomic cache write, but for claimed keys the write
+  is gated by an ``O_EXCL`` *publish marker* recording the winning
+  token.  A stale writer — the "dead" peer that woke up after its lease
+  was reclaimed — loses at exactly this point: the marker already
+  exists (or its lease token is no longer current), so its bytes are
+  discarded and the event is counted as ``publish-fenced``.  Double
+  execution can still *happen* (determinism makes the loser's bytes
+  identical anyway); double *publication* cannot.  If a winner crashes
+  between marker and cache write, the current lease holder repairs the
+  marker (its token is larger) and publishes.
+
+* **The log** (:class:`CoordinationLog`).  Every claim, heartbeat loss,
+  reclamation, publish and fencing event appends one fsynced JSON line
+  to ``log/<peer>.jsonl``.  The chaos tests scan these logs to prove
+  the protocol's invariant: across all peers, every key has at most one
+  ``publish`` event.
+
+Everything here is stdlib + POSIX rename/O_EXCL semantics — the same
+primitives the result store and ticket journal already rely on — so a
+"fleet" is nothing more exotic than N processes pointed at one
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+
+#: Subdirectory of ``<cache>/service`` owning all coordination state.
+COORDINATION_SUBDIR = "coordination"
+
+#: Default lease heartbeat TTL, seconds: a lease not refreshed for this
+#: long is considered abandoned and may be reclaimed by any peer.
+DEFAULT_LEASE_TTL = 10.0
+
+#: Log events the chaos tests key on.
+EVENT_ACQUIRED = "lease-acquired"
+EVENT_RECLAIMED = "lease-reclaimed"
+EVENT_RELEASED = "lease-released"
+EVENT_FENCED = "lease-fenced"
+EVENT_PUBLISH = "publish"
+EVENT_PUBLISH_FENCED = "publish-fenced"
+EVENT_PUBLISH_REPAIRED = "publish-repaired"
+
+
+class CoordinationError(ReproError):
+    """A coordination-state file is unusable (not a lost race)."""
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush a directory's entry table; best-effort on odd filesystems."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_excl(path: Path, payload: Dict) -> bool:
+    """Atomically create ``path`` with fsynced JSON; False if it exists."""
+    try:
+        fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, (json.dumps(payload, sort_keys=True) + "\n").encode())
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    fsync_directory(path.parent)
+    return True
+
+
+def _read_json(path: Path) -> Optional[Dict]:
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class FencingCounter:
+    """A crash-consistent, multi-process monotonic token mint.
+
+    Minting token *n* means atomically creating ``<dir>/<n:016d>`` with
+    ``O_EXCL``; a collision (another peer minted *n* first) retries with
+    *n + 1*.  Tokens are therefore unique and strictly increasing across
+    every process that shares the directory, with no locks and no state
+    beyond the directory listing.  Old token files below the maximum are
+    droppings, prunable by GC — monotonicity only needs the largest to
+    survive.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def _existing(self) -> List[int]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        tokens = []
+        for name in names:
+            try:
+                tokens.append(int(name))
+            except ValueError:
+                continue
+        return tokens
+
+    def mint(self, peer_id: str) -> int:
+        """A token strictly larger than every token ever minted here."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        token = max(self._existing(), default=0) + 1
+        while True:
+            if _write_excl(self.directory / f"{token:016d}", {"peer": peer_id}):
+                return token
+            token += 1
+
+    def prune(self) -> int:
+        """Drop every token file except the largest; returns the count."""
+        tokens = sorted(self._existing())
+        removed = 0
+        for token in tokens[:-1]:
+            try:
+                (self.directory / f"{token:016d}").unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+@dataclass
+class Lease:
+    """One peer's claim on one content address."""
+
+    key: str
+    peer_id: str
+    token: int
+    path: Path
+    acquired_at: float
+    #: Set once a heartbeat or publish discovers the lease was reclaimed:
+    #: this peer's work on the key must not be published.
+    fenced: bool = False
+
+    def record(self) -> Dict:
+        return {
+            "key": self.key,
+            "peer": self.peer_id,
+            "token": self.token,
+            "acquired_at": self.acquired_at,
+        }
+
+
+class CoordinationLog:
+    """Append-only, fsynced, per-peer event journal.
+
+    One JSON object per line; scanning every peer's log reconstructs the
+    fleet's history — which the chaos tests use to assert that no key
+    was ever published twice.
+    """
+
+    def __init__(self, directory: Path, peer_id: str) -> None:
+        self.directory = Path(directory)
+        self.peer_id = peer_id
+        self.path = self.directory / f"{peer_id}.jsonl"
+        self._lock = Lock()
+
+    def record(self, event: str, key: str = "", **extra) -> None:
+        entry = {"event": event, "peer": self.peer_id, "key": key, **extra}
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                fd = os.open(
+                    str(self.path),
+                    os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                )
+                try:
+                    os.write(fd, line.encode("utf-8"))
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+            except OSError:
+                pass  # a full disk costs the audit trail, not the run
+
+    @staticmethod
+    def scan(directory: Path) -> List[Dict]:
+        """Every event from every peer's log, in per-peer order."""
+        events: List[Dict] = []
+        try:
+            paths = sorted(Path(directory).glob("*.jsonl"))
+        except OSError:
+            return events
+        for path in paths:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn final line after a crash
+                if isinstance(entry, dict):
+                    events.append(entry)
+        return events
+
+
+class LeaseManager:
+    """Acquire, heartbeat, verify, release and reclaim per-key leases.
+
+    All state lives under one coordination directory shared by every
+    peer; the manager itself holds nothing but counters, so any number
+    of them (threads or processes) can point at the same directory.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        peer_id: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        log: Optional[CoordinationLog] = None,
+    ) -> None:
+        if ttl <= 0:
+            raise CoordinationError(
+                f"lease TTL must be positive, got {ttl!r}"
+            )
+        self.directory = Path(directory)
+        self.peer_id = peer_id
+        self.ttl = float(ttl)
+        self.leases_dir = self.directory / "leases"
+        self.broken_dir = self.directory / "broken"
+        self.fence = FencingCounter(self.directory / "fence")
+        self.log = log
+        #: Lifetime counters (CoordinationProfile + /v1/metricz).
+        self.acquired = 0
+        self.contended = 0
+        self.reclaimed = 0
+        self.released = 0
+        self.fenced = 0
+
+    # ------------------------------------------------------------------
+    # Paths and inspection
+    # ------------------------------------------------------------------
+    def lease_path(self, key: str) -> Path:
+        return self.leases_dir / f"{key}.lease"
+
+    def holder(self, key: str) -> Optional[Dict]:
+        """The current lease record for a key, or ``None`` if unclaimed.
+
+        The returned dict gains an ``"age"`` field (seconds since the
+        last heartbeat) and ``"stale"`` (whether it exceeds the TTL).
+        """
+        path = self.lease_path(key)
+        record = _read_json(path)
+        if record is None:
+            return None
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return None  # released between read and stat
+        record["age"] = age
+        record["stale"] = age > self.ttl
+        return record
+
+    # ------------------------------------------------------------------
+    # The lease lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self, key: str) -> Optional[Lease]:
+        """Claim a key, reclaiming a stale lease if one is in the way.
+
+        Returns ``None`` when a *live* peer holds the key — the caller
+        should watch the store for that peer's result instead of
+        computing.  Losing a reclamation race to another peer also
+        returns ``None`` (the winner is live by definition).
+        """
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        path = self.lease_path(key)
+        for _ in range(8):  # a bound, not a loop we expect to spin
+            token = self.fence.mint(self.peer_id)
+            lease = Lease(
+                key=key,
+                peer_id=self.peer_id,
+                token=token,
+                path=path,
+                acquired_at=time.time(),
+            )
+            if _write_excl(path, lease.record()):
+                self.acquired += 1
+                if self.log:
+                    self.log.record(EVENT_ACQUIRED, key, token=token)
+                return lease
+            holder = self.holder(key)
+            if holder is None:
+                continue  # released in the window; try again
+            if not holder.get("stale"):
+                self.contended += 1
+                return None
+            if not self._break(key, holder):
+                self.contended += 1
+                return None  # another peer won the reclamation race
+        return None
+
+    def _break(self, key: str, holder: Dict) -> bool:
+        """Move one stale lease into ``broken/``; True if *we* moved it."""
+        self.broken_dir.mkdir(parents=True, exist_ok=True)
+        token = holder.get("token", 0)
+        target = self.broken_dir / f"{key}.{token}.lease"
+        try:
+            os.replace(self.lease_path(key), target)
+        except FileNotFoundError:
+            return False  # the reclamation race: someone else renamed it
+        except OSError:
+            return False
+        fsync_directory(self.leases_dir)
+        self.reclaimed += 1
+        if self.log:
+            self.log.record(
+                EVENT_RECLAIMED,
+                key,
+                token=token,
+                dead_peer=holder.get("peer", "?"),
+            )
+        return True
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Refresh a held lease's mtime; False if it is no longer ours.
+
+        The False branch is how a wrongly-declared-dead peer finds out:
+        its lease was reclaimed (file gone, or rewritten with a larger
+        token), so it must treat its in-flight computation as fenced and
+        never publish it.
+        """
+        if lease.fenced:
+            return False
+        if not self.verify(lease):
+            lease.fenced = True
+            self.fenced += 1
+            if self.log:
+                self.log.record(EVENT_FENCED, lease.key, token=lease.token)
+            return False
+        try:
+            os.utime(lease.path)
+        except OSError:
+            return True  # verified ours; a failed touch is not a loss
+        return True
+
+    def verify(self, lease: Lease) -> bool:
+        """Whether the on-disk lease for this key is still this lease."""
+        record = _read_json(lease.path)
+        return (
+            record is not None
+            and record.get("token") == lease.token
+            and record.get("peer") == lease.peer_id
+        )
+
+    def release(self, lease: Lease) -> None:
+        """Drop a held lease (a fenced or already-reclaimed one is a no-op)."""
+        if lease.fenced or not self.verify(lease):
+            return
+        try:
+            lease.path.unlink()
+        except OSError:
+            return
+        fsync_directory(self.leases_dir)
+        self.released += 1
+        if self.log:
+            self.log.record(EVENT_RELEASED, lease.key, token=lease.token)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def sweep(self, ttl: float) -> Dict[str, int]:
+        """Prune coordination droppings older than ``ttl`` seconds.
+
+        Removes broken-lease tombstones, spent fence tokens (all but the
+        largest), and *orphaned* live leases — stale beyond the lease
+        TTL **and** older than ``ttl``, i.e. left by a peer that died
+        and was never contended, so nobody reclaimed them.
+        """
+        now = time.time()
+        counts = {"broken": 0, "fence": 0, "orphaned": 0}
+        try:
+            tombstones = list(self.broken_dir.glob("*.lease"))
+        except OSError:
+            tombstones = []
+        for path in tombstones:
+            try:
+                if now - path.stat().st_mtime > ttl:
+                    path.unlink()
+                    counts["broken"] += 1
+            except OSError:
+                continue
+        counts["fence"] = self.fence.prune()
+        try:
+            live = list(self.leases_dir.glob("*.lease"))
+        except OSError:
+            live = []
+        for path in live:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age > max(ttl, self.ttl):
+                try:
+                    path.unlink()
+                    counts["orphaned"] += 1
+                except OSError:
+                    continue
+        return counts
+
+    def snapshot(self) -> Dict:
+        """Counters for ``/v1/status`` and the CoordinationProfile."""
+        return {
+            "peer_id": self.peer_id,
+            "ttl": self.ttl,
+            "acquired": self.acquired,
+            "contended": self.contended,
+            "reclaimed": self.reclaimed,
+            "released": self.released,
+            "fenced": self.fenced,
+        }
+
+
+class LeasedStore:
+    """A result-store proxy that fences publishes on claimed keys.
+
+    Engines owned by a coordinating daemon write results through this
+    wrapper instead of the raw :class:`~repro.engine.store.ResultStore`.
+    Reads and unclaimed-key writes pass straight through; a write to a
+    *claimed* key runs the guarded-publish protocol:
+
+    1. if the key's publish marker cannot be created (``O_EXCL``) and
+       the result already exists, another peer won — count ``fenced``,
+       discard the bytes (they are identical anyway; determinism is the
+       safety net under the safety net);
+    2. if the marker exists but the result does not — the prior winner
+       crashed between marker and cache write — the *current* lease
+       holder (strictly larger token) repairs the marker and publishes;
+    3. otherwise the marker lands with our fencing token and the base
+       store's atomic rename publishes the result.
+
+    The marker, not the cache file, is the commitment point: markers are
+    only ever created with ``O_EXCL`` or replaced under a verified
+    current lease, so "published twice" is structurally impossible.
+    """
+
+    def __init__(
+        self,
+        base,
+        manager: LeaseManager,
+        log: Optional[CoordinationLog] = None,
+    ) -> None:
+        self.base = base
+        self.manager = manager
+        self.log = log
+        self.markers_dir = manager.directory / "published"
+        self._claims: Dict[str, Lease] = {}
+        self._lock = Lock()
+        #: Lifetime counters (CoordinationProfile + /v1/metricz).
+        self.published = 0
+        self.fenced_publishes = 0
+        self.repaired_publishes = 0
+
+    # ------------------------------------------------------------------
+    # Claims
+    # ------------------------------------------------------------------
+    def claim(self, key: str, lease: Lease) -> None:
+        """Route subsequent ``put(key, ...)`` calls through the guard."""
+        with self._lock:
+            self._claims[key] = lease
+
+    def disclaim(self, key: str) -> None:
+        with self._lock:
+            self._claims.pop(key, None)
+
+    def marker_path(self, key: str) -> Path:
+        return self.markers_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Store protocol
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        return self.base.get(key)
+
+    def put(self, key: str, value) -> bool:
+        with self._lock:
+            lease = self._claims.get(key)
+        if lease is None:
+            return self.base.put(key, value)
+        return self._guarded_put(key, value, lease)
+
+    def _guarded_put(self, key: str, value, lease: Lease) -> bool:
+        self.markers_dir.mkdir(parents=True, exist_ok=True)
+        marker = self.marker_path(key)
+        if lease.fenced or not self.manager.verify(lease):
+            return self._fence(key, lease)
+        if _write_excl(marker, {"peer": lease.peer_id, "token": lease.token}):
+            return self._publish(key, value, lease)
+        prior = _read_json(marker)
+        prior_token = (prior or {}).get("token", 0)
+        if self.base.get(key) is not None:
+            return self._fence(key, lease)
+        # The prior winner crashed between marker and cache write.  Only
+        # the current lease holder may repair, and its token is larger.
+        if prior_token < lease.token and self.manager.verify(lease):
+            if self._rewrite_marker(marker, lease):
+                self.repaired_publishes += 1
+                if self.log:
+                    self.log.record(
+                        EVENT_PUBLISH_REPAIRED,
+                        key,
+                        token=lease.token,
+                        superseded=prior_token,
+                    )
+                return self._publish(key, value, lease)
+        return self._fence(key, lease)
+
+    def _publish(self, key: str, value, lease: Lease) -> bool:
+        wrote = self.base.put(key, value)
+        self.published += 1
+        if self.log:
+            self.log.record(
+                EVENT_PUBLISH, key, token=lease.token, wrote=bool(wrote)
+            )
+        return wrote
+
+    def _fence(self, key: str, lease: Lease) -> bool:
+        lease.fenced = True
+        self.fenced_publishes += 1
+        if self.log:
+            self.log.record(EVENT_PUBLISH_FENCED, key, token=lease.token)
+        return False
+
+    @staticmethod
+    def _rewrite_marker(marker: Path, lease: Lease) -> bool:
+        """Atomically replace a crashed winner's marker with ours."""
+        tmp = marker.with_suffix(f".{lease.token}.tmp")
+        try:
+            tmp.write_text(
+                json.dumps(
+                    {"peer": lease.peer_id, "token": lease.token},
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, marker)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        fsync_directory(marker.parent)
+        return True
+
+    # ------------------------------------------------------------------
+    # Garbage collection and introspection
+    # ------------------------------------------------------------------
+    def sweep_markers(self, ttl: float) -> int:
+        """Drop old markers whose result landed (the cache file exists).
+
+        A marker with no result stays: it may be mid-repair, and it is
+        the only witness of the crashed winner's token.
+        """
+        now = time.time()
+        removed = 0
+        try:
+            markers = list(self.markers_dir.glob("*.json"))
+        except OSError:
+            return 0
+        for path in markers:
+            key = path.name[: -len(".json")]
+            try:
+                old = now - path.stat().st_mtime > ttl
+            except OSError:
+                continue
+            if old and self.base.get(key) is not None:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            claims = len(self._claims)
+        return {
+            "claimed": claims,
+            "published": self.published,
+            "fenced_publishes": self.fenced_publishes,
+            "repaired_publishes": self.repaired_publishes,
+        }
+
+    def __getattr__(self, name):
+        # Everything else (describe, info, counters, directory, clear,
+        # evict, ...) behaves exactly like the wrapped store.
+        return getattr(self.base, name)

@@ -37,7 +37,10 @@ from ..errors import ReproError
 from ..sweep.spec import pipeline_from_dict, pipeline_to_dict
 
 #: Version of the wire protocol; served in every status document.
-PROTOCOL_VERSION = 1
+#: Version 2 added multi-daemon coordination: the ``coordination``
+#: status section (peer id, lease and guarded-publish counters),
+#: ``POST /v1/gc``, and SSE keepalive comments on the event stream.
+PROTOCOL_VERSION = 2
 
 #: Ticket lifecycle states (the registry enforces the transitions).
 TICKET_STATES = ("queued", "running", "done", "failed")

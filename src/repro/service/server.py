@@ -19,6 +19,7 @@ hand-rolled HTTP/1.1 interface (stdlib only, ``asyncio.start_server``):
                                       outputs)
 ``GET /v1/metricz``                   flat ``name value`` counters
 ``POST /v1/drain``                    stop admitting, keep serving reads
+``POST /v1/gc``                       prune old tickets, leases, markers
 ``POST /v1/shutdown``                 graceful drain + exit
 ====================================  =================================
 
@@ -37,13 +38,25 @@ The serving discipline:
   the content-addressed store guaranteeing nothing is lost or computed
   twice.
 * **Telemetry**: engine lifecycle events stream onto tickets via the
-  telemetry observer seam; shutdown records a ``ServiceProfile`` into
-  the manifest (v6) under ``<cache>/service/manifest.json``.
+  telemetry observer seam; shutdown records a ``ServiceProfile`` and a
+  ``CoordinationProfile`` into the manifest (v7) under
+  ``<cache>/service/manifest.json``.
+* **Coordination** (:mod:`repro.service.coordinate`): N daemons — each
+  ``repro-leakage serve --peer-id`` — share one cache directory.  A
+  content address is computed under an exclusive, heartbeat-refreshed
+  lease; a key leased by a peer is *watched* (the local ticket resolves
+  when the peer's result lands in the shared store, so coalescing spans
+  the fleet); stale leases are reclaimed deterministically and fencing
+  tokens make double-publication impossible even when a "dead" peer
+  resumes mid-write.
 
-One work item executes at a time — parallelism lives *inside* the
-engine (worker processes), so the daemon's concurrency model stays a
-single event loop plus one executor thread, and dispatch order is the
-deterministic stride order.
+Up to ``--jobs`` work items execute concurrently: the scheduler pops in
+deterministic stride order and dispatches each item onto its own
+engine-fleet slot (one single-worker engine per slot, shared store and
+telemetry), bounded by a semaphore.  Because results are pure functions
+of their content address, concurrency — like every other execution
+choice in this codebase — changes only *when* answers arrive, never
+what they are.
 """
 
 from __future__ import annotations
@@ -51,25 +64,34 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import signal
 import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import (
-    ExecutionEngine,
+    EngineFleet,
     ResultStore,
     SimulationJob,
     atomic_write_json,
+    resolve_backend_name,
+    resolve_worker_count,
 )
 from ..errors import ReproError
 from ..sweep import ShardAssignment, SweepCoordinator, SweepSpec, expand
 from ..sweep import merge as sweep_merge
 from .admission import AdmissionFull, AdmissionQueue, WorkItem
 from .coalesce import CoalesceRegistry
+from .coordinate import (
+    COORDINATION_SUBDIR,
+    DEFAULT_LEASE_TTL,
+    CoordinationLog,
+    LeaseManager,
+    LeasedStore,
+)
 from .protocol import (
     CLIENT_HEADER,
     DEFAULT_CLIENT,
@@ -123,6 +145,19 @@ class ServiceConfig:
     retry_after: float = 1.0
     #: Per-client fairness weights (unlisted clients weigh 1.0).
     client_weights: Dict[str, float] = field(default_factory=dict)
+    #: This daemon's identity in a shared cache directory
+    #: (``None`` -> ``peer-<pid>``).
+    peer_id: Optional[str] = None
+    #: Lease heartbeat TTL, seconds: a peer silent this long is dead.
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    #: How often a remote-watched key polls the shared store, seconds.
+    poll_interval: float = 0.25
+    #: Age past which ``gc`` prunes terminal tickets (and coordination
+    #: droppings), seconds.
+    ticket_ttl: float = 3600.0
+    #: SSE keepalive comment interval, seconds (also the disconnect
+    #: detection cadence).
+    sse_keepalive: float = 5.0
 
 
 class _SweepState:
@@ -155,13 +190,30 @@ class ServiceDaemon:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
-        self.store = ResultStore(self.config.cache_dir)
-        self.engine = ExecutionEngine(
-            jobs=self.config.jobs,
+        self.peer_id = self.config.peer_id or f"peer-{os.getpid()}"
+        base_store = ResultStore(self.config.cache_dir)
+        self.service_dir = base_store.directory / SERVICE_SUBDIR
+        coordination_dir = self.service_dir / COORDINATION_SUBDIR
+        self.coordination_log = CoordinationLog(
+            coordination_dir / "log", self.peer_id
+        )
+        self.leases = LeaseManager(
+            coordination_dir,
+            self.peer_id,
+            ttl=self.config.lease_ttl,
+            log=self.coordination_log,
+        )
+        self.store = LeasedStore(
+            base_store, self.leases, log=self.coordination_log
+        )
+        self.slots = resolve_worker_count(self.config.jobs)
+        self.backend = resolve_backend_name(self.config.backend)
+        self.fleet = EngineFleet(
+            self.slots,
             store=self.store,
             backend=self.config.backend,
         )
-        self.service_dir = self.store.directory / SERVICE_SUBDIR
+        self.telemetry = self.fleet.telemetry
         self.tickets = TicketRegistry(self.service_dir / "tickets")
         self.queue = AdmissionQueue(
             self.config.max_queue, self.config.client_weights
@@ -169,7 +221,9 @@ class ServiceDaemon:
         self.coalesce = CoalesceRegistry()
         self._sweeps: Dict[str, _SweepState] = {}
         self._ticket_waiters: Dict[str, List[asyncio.Event]] = {}
-        self._current_ticket: Optional[Ticket] = None
+        #: Executor-thread id -> the ticket whose computation runs there
+        #: (the telemetry observer routes engine events by this map).
+        self._thread_tickets: Dict[int, Ticket] = {}
         self._draining = False
         self._started = time.monotonic()
         self.port: Optional[int] = None  #: Bound TCP port once serving.
@@ -179,12 +233,22 @@ class ServiceDaemon:
         self.computed_jobs = 0
         self.compute_seconds = 0.0
         self.resumed_tickets = 0
+        self.remote_resolved = 0
+        self.reclaimed_takeovers = 0
+        self.sse_keepalives = 0
+        self.sse_reaped = 0
+        self.gc_runs = 0
+        self.gc_pruned_tickets = 0
+        self.gc_pruned_leases = 0
+        self.gc_pruned_markers = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._servers: List[asyncio.AbstractServer] = []
         self._scheduler_task: Optional[asyncio.Task] = None
+        self._slot_gate: Optional[asyncio.Semaphore] = None
+        self._inflight: set = set()
         self._work: Optional[asyncio.Event] = None
         self._shutdown_requested: Optional[asyncio.Event] = None
-        self.engine.telemetry.subscribe(self._engine_event)
+        self.telemetry.subscribe(self._engine_event)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -194,6 +258,7 @@ class ServiceDaemon:
         self._loop = asyncio.get_running_loop()
         self._work = asyncio.Event()
         self._shutdown_requested = asyncio.Event()
+        self._slot_gate = asyncio.Semaphore(self.slots)
         self._resume_tickets()
         self._scheduler_task = asyncio.create_task(self._scheduler())
         if self.config.socket:
@@ -219,7 +284,8 @@ class ServiceDaemon:
                 pass
         print(
             f"repro-leakage service: serving on {where} "
-            f"(cache {self.store.describe()}, backend {self.engine.backend}, "
+            f"(peer {self.peer_id}, cache {self.store.describe()}, "
+            f"backend {self.backend}, {self.slots} slot(s), "
             f"queue limit {self.queue.limit})",
             file=sys.stderr,
         )
@@ -240,21 +306,22 @@ class ServiceDaemon:
         """Stop admitting work; reads keep serving, POSTs get 503."""
         if not self._draining:
             self._draining = True
-            self.engine.telemetry.note(f"service drain: {reason}")
+            self.telemetry.note(f"service drain: {reason}")
         if self._work is not None:
             self._work.set()
 
     async def stop(self) -> None:
-        """Drain, finish the in-flight item, journal the rest, exit."""
+        """Drain, finish every in-flight item, journal the rest, exit."""
         self.initiate_drain("stopping")
         if self._scheduler_task is not None:
             await self._scheduler_task
         queued = [t for t in self.tickets.all() if t.state == "queued"]
-        self.engine.telemetry.record_service(self.service_profile())
-        self.engine.telemetry.record_store(self.store)
+        self.telemetry.record_service(self.service_profile())
+        self.telemetry.record_coordination(self.coordination_profile())
+        self.fleet.finalize()
         atomic_write_json(
             self.service_dir / "manifest.json",
-            self.engine.telemetry.manifest(),
+            self.telemetry.manifest(),
         )
         for server in self._servers:
             server.close()
@@ -549,49 +616,99 @@ class ServiceDaemon:
             self._work.set()
 
     # ------------------------------------------------------------------
-    # Scheduler (one work item at a time; engine parallelizes inside)
+    # Scheduler (stride-ordered dispatch onto bounded concurrent slots)
     # ------------------------------------------------------------------
     async def _scheduler(self) -> None:
-        while True:
+        """Pop in stride order, dispatch each item as its own task.
+
+        The semaphore bounds *computations* to ``--jobs`` slots; a slot
+        is acquired before the pop so the stride scheduler stays the
+        single authority on dispatch order right up to the moment a slot
+        frees.  Remote-watched keys release their slot immediately —
+        waiting on a peer costs polling, not capacity.  Drain stops
+        dispatching, then waits for every in-flight task.
+        """
+        while not self._draining:
+            await self._slot_gate.acquire()
             if self._draining:
+                self._slot_gate.release()
                 break
             item = self.queue.pop()
             if item is None:
+                self._slot_gate.release()
                 self._work.clear()
                 if self._draining:
                     break
                 await self._work.wait()
                 continue
-            await self._run_item(item)
+            task = asyncio.create_task(self._run_item(item))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
 
     async def _run_item(self, item: WorkItem) -> None:
-        ticket = self.tickets.get(item.ticket_id)
-        if ticket is None or ticket.terminal:
-            return
-        if ticket.kind == KIND_SWEEP:
-            await self._run_sweep_finalize(ticket)
-            return
+        """One dispatched WorkItem; owns a slot until compute finishes."""
+        held_slot = True
         try:
-            job = parse_job_spec(ticket.spec)
-        except ReproError as error:
-            self.tickets.transition(ticket, "failed", error=str(error))
-            self._notify_waiters(ticket.id)
-            return
-        self.tickets.transition(ticket, "running")
-        self._publish(ticket, {"event": "computing", "key": ticket.key})
-        self._current_ticket = ticket
+            ticket = self.tickets.get(item.ticket_id)
+            if ticket is None or ticket.terminal:
+                return
+            if ticket.kind == KIND_SWEEP:
+                await self._run_sweep_finalize(ticket)
+                return
+            try:
+                job = parse_job_spec(ticket.spec)
+            except ReproError as error:
+                self.tickets.transition(ticket, "failed", error=str(error))
+                self._notify_waiters(ticket.id)
+                return
+            key = ticket.key
+            # A concurrent local computation of this key cannot exist
+            # (the coalescer guarantees one leader per key), but a PEER
+            # may hold its lease: claim or watch.
+            lease = await self._loop.run_in_executor(
+                None, self.leases.acquire, key
+            )
+            if lease is None:
+                self._slot_gate.release()
+                held_slot = False
+                self.coalesce.remote_begin(key)
+                self.tickets.transition(ticket, "running")
+                self._publish(
+                    ticket, {"event": "remote-wait", "key": key}
+                )
+                await self._watch_remote(ticket, job)
+                return
+            await self._compute_owned(ticket, job, lease)
+        finally:
+            if held_slot:
+                self._slot_gate.release()
+
+    async def _compute_owned(self, ticket: Ticket, job, lease) -> None:
+        """Compute a key under a held lease, heartbeating throughout."""
+        key = ticket.key
+        if ticket.state != "running":
+            self.tickets.transition(ticket, "running")
+        self._publish(ticket, {"event": "computing", "key": key})
+        self.store.claim(key, lease)
+        beat = asyncio.create_task(self._heartbeat_lease(lease))
         start = time.perf_counter()
         try:
             outcome = await self._loop.run_in_executor(
-                None, self.engine.run_one, job
+                None, self._compute_in_thread, ticket, job
             )
         except Exception as error:
-            self._current_ticket = None
             self._fail_computation(
                 ticket, f"{type(error).__name__}: {error}"
             )
             return
-        self._current_ticket = None
+        finally:
+            beat.cancel()
+            self.store.disclaim(key)
+            await self._loop.run_in_executor(
+                None, self.leases.release, lease
+            )
         self.compute_seconds += time.perf_counter() - start
         self.computed_jobs += 1
         result = job_result_payload(job, outcome.annotated)
@@ -601,7 +718,87 @@ class ServiceDaemon:
         )
         self._publish(ticket, {"event": "done", "source": outcome.source})
         self._notify_waiters(ticket.id)
-        self._complete_key(ticket.key, job, result, execution)
+        self._complete_key(key, job, result, execution)
+
+    def _compute_in_thread(self, ticket: Ticket, job):
+        """Executor-thread body: route telemetry events to this ticket."""
+        ident = threading.get_ident()
+        self._thread_tickets[ident] = ticket
+        try:
+            return self.fleet.run_one(job)
+        finally:
+            self._thread_tickets.pop(ident, None)
+
+    async def _heartbeat_lease(self, lease) -> None:
+        """Refresh a lease's mtime while its computation runs."""
+        interval = max(self.leases.ttl / 3.0, 0.05)
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                alive = await self._loop.run_in_executor(
+                    None, self.leases.heartbeat, lease
+                )
+                if not alive:
+                    # Reclaimed under us: the publish guard will fence
+                    # the write; nothing else to do here.
+                    return
+        except asyncio.CancelledError:
+            return
+
+    async def _watch_remote(self, ticket: Ticket, job) -> None:
+        """Resolve a peer-leased key from the shared store, or take over.
+
+        Polls until the peer's result appears (fleet-wide coalescing:
+        the local ticket, its followers and sweep watchers all resolve
+        from the peer's bytes), the peer's lease goes stale (reclaim and
+        compute here), or the daemon drains (the ticket stays journaled
+        for restart resume).
+        """
+        key = ticket.key
+        while True:
+            hit = self.store.get(key)
+            if hit is not None:
+                self.coalesce.remote_done(key)
+                self.remote_resolved += 1
+                result = job_result_payload(job, hit)
+                execution = {
+                    "source": "remote",
+                    "attempts": 0,
+                    "wall_seconds": 0.0,
+                    "coalesced": True,
+                }
+                self.tickets.transition(
+                    ticket,
+                    "done",
+                    result={"result": result, "execution": execution},
+                )
+                self._publish(ticket, {"event": "done", "source": "remote"})
+                self._notify_waiters(ticket.id)
+                self._complete_key(key, job, result, execution)
+                return
+            holder = self.leases.holder(key)
+            if holder is None or holder.get("stale"):
+                # The peer died (or finished without publishing — a
+                # crash mid-compute): try to take the lease over.
+                lease = await self._loop.run_in_executor(
+                    None, self.leases.acquire, key
+                )
+                if lease is not None:
+                    self.coalesce.remote_done(key)
+                    self.reclaimed_takeovers += 1
+                    self._publish(
+                        ticket,
+                        {"event": "lease-takeover", "key": key},
+                    )
+                    await self._slot_gate.acquire()
+                    try:
+                        await self._compute_owned(ticket, job, lease)
+                    finally:
+                        self._slot_gate.release()
+                    return
+            if self._draining:
+                return  # stays queued/running; restart resumes it
+            await asyncio.sleep(self.config.poll_interval)
 
     def _complete_key(
         self, key: str, job: SimulationJob, result: Dict, execution: Dict
@@ -674,18 +871,24 @@ class ServiceDaemon:
             self._notify_waiters(ticket.id)
             return
         self._publish(ticket, {"event": "finalizing"})
-        self._current_ticket = ticket
-        try:
-            outcome = await self._loop.run_in_executor(
-                None,
-                lambda: sweep_merge(
+
+        def _merge():
+            ident = threading.get_ident()
+            self._thread_tickets[ident] = ticket
+            engine = self.fleet.acquire()
+            try:
+                return sweep_merge(
                     state.spec,
                     cache_dir=self.store.directory,
-                    engine=self.engine,
-                ),
-            )
+                    engine=engine,
+                )
+            finally:
+                self.fleet.release(engine)
+                self._thread_tickets.pop(ident, None)
+
+        try:
+            outcome = await self._loop.run_in_executor(None, _merge)
         except Exception as error:
-            self._current_ticket = None
             self._sweeps.pop(ticket.id, None)
             self.tickets.transition(
                 ticket,
@@ -695,8 +898,7 @@ class ServiceDaemon:
             self._publish(ticket, {"event": "failed", "error": str(error)})
             self._notify_waiters(ticket.id)
             return
-        self._current_ticket = None
-        state.journal.write_manifest(self.engine.telemetry.manifest())
+        state.journal.write_manifest(self.telemetry.manifest())
         self._sweeps.pop(ticket.id, None)
         self.tickets.transition(
             ticket,
@@ -723,8 +925,14 @@ class ServiceDaemon:
     # Events
     # ------------------------------------------------------------------
     def _engine_event(self, payload: Dict) -> None:
-        """Telemetry observer: marshal engine events onto the loop."""
-        loop, ticket = self._loop, self._current_ticket
+        """Telemetry observer: marshal engine events onto the loop.
+
+        Events are emitted synchronously on the executor thread running
+        that slot's computation, so the emitting thread id *is* the
+        ticket attribution — concurrent slots never cross streams.
+        """
+        loop = self._loop
+        ticket = self._thread_tickets.get(threading.get_ident())
         if loop is None or ticket is None:
             return
         try:
@@ -752,14 +960,16 @@ class ServiceDaemon:
             "service": {
                 "draining": self._draining,
                 "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "peer_id": self.peer_id,
                 "engine": {
-                    "backend": self.engine.backend,
-                    "chain": self.engine.supervisor.describe_chain()
-                    + ["serial"],
-                    "max_workers": self.engine.max_workers,
+                    "backend": self.backend,
+                    "chain": self._backend_chain(),
+                    "max_workers": self.slots,
+                    "slots": self.slots,
                 },
                 "admission": self.queue.snapshot(),
                 "coalesce": self.coalesce.snapshot(),
+                "coordination": self.coordination_profile(),
                 "tickets": self.tickets.counts(),
                 "requests": {
                     name: self.requests[name]
@@ -769,21 +979,32 @@ class ServiceDaemon:
                 "computed_jobs": self.computed_jobs,
                 "compute_seconds": round(self.compute_seconds, 6),
                 "resumed_tickets": self.resumed_tickets,
+                "sse_keepalives": self.sse_keepalives,
+                "sse_reaped": self.sse_reaped,
                 "store": {
                     "hits": self.store.hits,
                     "misses": self.store.misses,
                     "hit_rate": self.store.hits / total if total else 0.0,
                 },
-                "breakers": self.engine.supervisor.snapshot()["states"],
-                "heartbeat_events": len(self.engine.telemetry.heartbeats),
+                "breakers": self.fleet.breaker_snapshot()["states"],
+                "heartbeat_events": len(self.telemetry.heartbeats),
             },
             "cache": cache_info_payload(self.store),
         }
 
+    def _backend_chain(self) -> List[str]:
+        engines = self.fleet.engines
+        if engines:
+            return engines[0].supervisor.describe_chain() + ["serial"]
+        # No slot has run yet: derive the chain a slot would build.
+        chain = {"pool": ["pool", "subprocess"], "subprocess": ["subprocess"]}
+        return chain.get(self.backend, []) + ["serial"]
+
     def service_profile(self) -> Dict:
-        """The manifest-v6 ``ServiceProfile`` section."""
+        """The ``ServiceProfile`` manifest section (since v6)."""
         return {
             "draining": self._draining,
+            "peer_id": self.peer_id,
             "admission": self.queue.snapshot(),
             "coalesce": self.coalesce.snapshot(),
             "tickets": self.tickets.counts(),
@@ -794,6 +1015,47 @@ class ServiceDaemon:
             "computed_jobs": self.computed_jobs,
             "compute_seconds": round(self.compute_seconds, 6),
             "resumed_tickets": self.resumed_tickets,
+            "sse_keepalives": self.sse_keepalives,
+            "sse_reaped": self.sse_reaped,
+        }
+
+    def coordination_profile(self) -> Dict:
+        """The manifest-v7 ``CoordinationProfile`` section."""
+        return {
+            "peer_id": self.peer_id,
+            "leases": self.leases.snapshot(),
+            "publishes": self.store.snapshot(),
+            "remote_resolved": self.remote_resolved,
+            "reclaimed_takeovers": self.reclaimed_takeovers,
+            "gc": {
+                "runs": self.gc_runs,
+                "pruned_tickets": self.gc_pruned_tickets,
+                "pruned_leases": self.gc_pruned_leases,
+                "pruned_markers": self.gc_pruned_markers,
+            },
+        }
+
+    def collect_garbage(self, ttl: Optional[float] = None) -> Dict:
+        """Prune old terminal tickets plus coordination droppings.
+
+        ``ttl`` defaults to ``--ticket-ttl``.  Orphaned leases (a dead,
+        never-contended peer's), broken-lease tombstones, spent fencing
+        tokens and satisfied publish markers age out on the same clock.
+        Counted in ``/v1/metricz`` under ``...coordination.gc.*``.
+        """
+        age = float(self.config.ticket_ttl if ttl is None else ttl)
+        tickets = self.tickets.prune(age)
+        leases = self.leases.sweep(age)
+        markers = self.store.sweep_markers(age)
+        self.gc_runs += 1
+        self.gc_pruned_tickets += tickets
+        self.gc_pruned_leases += leases["orphaned"] + leases["broken"]
+        self.gc_pruned_markers += markers
+        return {
+            "ttl": age,
+            "tickets": tickets,
+            "leases": leases,
+            "markers": markers,
         }
 
     # ------------------------------------------------------------------
@@ -808,7 +1070,7 @@ class ServiceDaemon:
             self.requests[f"{method} {path.split('?')[0]}"] = (
                 self.requests.get(f"{method} {path.split('?')[0]}", 0) + 1
             )
-            await self._route(writer, method, path, headers, body)
+            await self._route(reader, writer, method, path, headers, body)
         except (
             asyncio.IncompleteReadError,
             ConnectionError,
@@ -859,7 +1121,9 @@ class ServiceDaemon:
         body = await reader.readexactly(length) if length > 0 else b""
         return method.upper(), target, headers, body
 
-    async def _route(self, writer, method, target, headers, body) -> None:
+    async def _route(
+        self, reader, writer, method, target, headers, body
+    ) -> None:
         path = target.split("?", 1)[0]
         client = headers.get(CLIENT_HEADER.lower(), "") or DEFAULT_CLIENT
         if path == "/v1/jobs" and method == "POST":
@@ -869,7 +1133,9 @@ class ServiceDaemon:
         elif path.startswith("/v1/tickets/") and method == "GET":
             rest = path[len("/v1/tickets/"):]
             if rest.endswith("/events"):
-                await self._handle_events(writer, rest[: -len("/events")])
+                await self._handle_events(
+                    reader, writer, rest[: -len("/events")]
+                )
             else:
                 await self._handle_ticket(writer, rest)
         elif path == "/v1/status" and method == "GET":
@@ -887,6 +1153,22 @@ class ServiceDaemon:
         elif path == "/v1/drain" and method == "POST":
             self.initiate_drain("drain requested over HTTP")
             await self._respond_json(writer, 202, {"draining": True})
+        elif path == "/v1/gc" and method == "POST":
+            ttl = None
+            if body:
+                document = self._parse_body(body)
+                if "ttl" in document:
+                    try:
+                        ttl = float(document["ttl"])
+                    except (TypeError, ValueError):
+                        raise ProtocolError(
+                            f"gc ttl must be a number, got "
+                            f"{document['ttl']!r}"
+                        ) from None
+            swept = await self._loop.run_in_executor(
+                None, self.collect_garbage, ttl
+            )
+            await self._respond_json(writer, 200, swept)
         elif path == "/v1/shutdown" and method == "POST":
             await self._respond_json(writer, 202, {"stopping": True})
             self.request_shutdown()
@@ -896,6 +1178,7 @@ class ServiceDaemon:
             "/v1/status",
             "/v1/metricz",
             "/v1/drain",
+            "/v1/gc",
             "/v1/shutdown",
         ):
             await self._respond_json(
@@ -962,8 +1245,27 @@ class ServiceDaemon:
             return
         await self._respond_json(writer, 200, ticket.payload())
 
-    async def _handle_events(self, writer, ticket_id: str) -> None:
-        """SSE: stream ticket events until the ticket is terminal."""
+    def _discard_waiter(self, ticket_id: str, waiter: asyncio.Event) -> None:
+        """Unregister one SSE waiter (keepalive wakeups, reaped clients)."""
+        waiters = self._ticket_waiters.get(ticket_id)
+        if not waiters:
+            return
+        try:
+            waiters.remove(waiter)
+        except ValueError:
+            pass
+        if not waiters:
+            self._ticket_waiters.pop(ticket_id, None)
+
+    async def _handle_events(self, reader, writer, ticket_id: str) -> None:
+        """SSE: stream ticket events until terminal or the client leaves.
+
+        Idle streams carry a ``: keepalive`` comment every
+        ``--sse-keepalive`` seconds so middleboxes don't cut them, and a
+        background read on the connection detects the client closing its
+        end — a disconnected client's stream task (and its waiter
+        registration) is reaped instead of parked forever.
+        """
         ticket = self.tickets.get(ticket_id)
         if ticket is None:
             await self._respond_json(
@@ -978,29 +1280,67 @@ class ServiceDaemon:
             "\r\n"
         )
         writer.write(head.encode("latin-1"))
+        # SSE clients never send another byte: a completed read means the
+        # peer closed (or broke) the connection.
+        closed = asyncio.ensure_future(reader.read())
         sent = 0
-        while True:
-            events = ticket.events[sent:]
-            for event in events:
-                data = json.dumps(event, sort_keys=True)
-                writer.write(f"data: {data}\n\n".encode("utf-8"))
-            sent += len(events)
-            await writer.drain()
-            if ticket.terminal:
-                closing = json.dumps(
-                    {"state": ticket.state}, sort_keys=True
+        waiter: Optional[asyncio.Event] = None
+        wait_task: Optional[asyncio.Task] = None
+        try:
+            while True:
+                events = ticket.events[sent:]
+                for event in events:
+                    data = json.dumps(event, sort_keys=True)
+                    writer.write(f"data: {data}\n\n".encode("utf-8"))
+                sent += len(events)
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    self.sse_reaped += 1
+                    return
+                if ticket.terminal:
+                    closing = json.dumps(
+                        {"state": ticket.state}, sort_keys=True
+                    )
+                    writer.write(
+                        f"event: end\ndata: {closing}\n\n".encode()
+                    )
+                    await writer.drain()
+                    return
+                waiter = asyncio.Event()
+                self._ticket_waiters.setdefault(ticket.id, []).append(
+                    waiter
                 )
-                writer.write(f"event: end\ndata: {closing}\n\n".encode())
-                await writer.drain()
-                return
-            waiter = asyncio.Event()
-            self._ticket_waiters.setdefault(ticket.id, []).append(waiter)
-            if len(ticket.events) > sent or ticket.terminal:
-                continue  # appended between snapshot and registration
-            try:
-                await asyncio.wait_for(waiter.wait(), timeout=5.0)
-            except asyncio.TimeoutError:
-                pass
+                if len(ticket.events) > sent or ticket.terminal:
+                    # Appended between snapshot and registration.
+                    self._discard_waiter(ticket.id, waiter)
+                    waiter = None
+                    continue
+                wait_task = asyncio.ensure_future(waiter.wait())
+                done, _ = await asyncio.wait(
+                    {wait_task, closed},
+                    timeout=self.config.sse_keepalive,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                self._discard_waiter(ticket.id, waiter)
+                waiter = None
+                if closed in done:
+                    self.sse_reaped += 1
+                    return
+                if not done:  # idle interval: prove the stream is alive
+                    self.sse_keepalives += 1
+                    writer.write(b": keepalive\n\n")
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        self.sse_reaped += 1
+                        return
+        finally:
+            if waiter is not None:
+                self._discard_waiter(ticket_id, waiter)
+            if wait_task is not None:
+                wait_task.cancel()
+            closed.cancel()
 
     async def _respond_429(self, writer, message: str) -> None:
         hint = self._retry_after()

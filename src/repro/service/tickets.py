@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -67,6 +68,10 @@ class Ticket:
     coalesced_with: Optional[str] = None  #: Leader ticket id, if attached.
     result: Optional[Dict] = None
     error: Optional[str] = None
+    #: Wall-clock stamps (persisted): when issued / last transitioned.
+    #: GC prunes terminal tickets by ``updated_at`` age.
+    created_at: float = 0.0
+    updated_at: float = 0.0
     #: In-memory progress stream (not persisted; feeds SSE and polls).
     events: List[Dict] = field(default_factory=list, repr=False)
 
@@ -110,6 +115,8 @@ class Ticket:
             "coalesced_with": self.coalesced_with,
             "result": self.result,
             "error": self.error,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
         }
 
 
@@ -143,6 +150,7 @@ class TicketRegistry:
         with self._lock:
             seq = self._next_seq
             self._next_seq += 1
+            now = time.time()
             ticket = Ticket(
                 id=f"t{seq:06d}-{key[:12]}",
                 kind=kind,
@@ -152,6 +160,8 @@ class TicketRegistry:
                 client=client,
                 seq=seq,
                 coalesced_with=coalesced_with,
+                created_at=now,
+                updated_at=now,
             )
             self._tickets[ticket.id] = ticket
         self._persist(ticket)
@@ -192,6 +202,7 @@ class TicketRegistry:
             )
         with self._lock:
             ticket.state = state
+            ticket.updated_at = time.time()
             if result is not None:
                 ticket.result = dict(result)
             if error is not None:
@@ -250,6 +261,8 @@ class TicketRegistry:
                         coalesced_with=record.get("coalesced_with"),
                         result=record.get("result"),
                         error=record.get("error"),
+                        created_at=float(record.get("created_at", 0.0)),
+                        updated_at=float(record.get("updated_at", 0.0)),
                     )
                 except (TypeError, ValueError):
                     continue
@@ -259,3 +272,36 @@ class TicketRegistry:
                     resumable.append(ticket)
         resumable.sort(key=lambda t: t.seq)
         return resumable
+
+    def prune(self, ttl: float) -> int:
+        """Drop terminal tickets untouched for ``ttl`` seconds.
+
+        Removes both the in-memory entry and the persisted file; returns
+        how many were pruned.  Non-terminal tickets are never touched —
+        they are promises, not garbage — and a ticket with no recorded
+        ``updated_at`` (pre-GC daemons) is pruned by file age instead.
+        """
+        now = time.time()
+        pruned = 0
+        with self._lock:
+            victims = []
+            for ticket in self._tickets.values():
+                if not ticket.terminal:
+                    continue
+                stamp = ticket.updated_at
+                if stamp <= 0.0:
+                    try:
+                        stamp = self._path(ticket.id).stat().st_mtime
+                    except OSError:
+                        stamp = now
+                if now - stamp > ttl:
+                    victims.append(ticket.id)
+            for ticket_id in victims:
+                del self._tickets[ticket_id]
+                pruned += 1
+        for ticket_id in victims:
+            try:
+                self._path(ticket_id).unlink()
+            except OSError:
+                continue
+        return pruned

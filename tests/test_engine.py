@@ -303,8 +303,9 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 6
+        assert manifest["manifest_version"] == 7
         assert manifest["service"] == {}
+        assert manifest["coordination"] == {}
         assert manifest["retries"] == []
         assert manifest["faults"] == []
         assert manifest["quarantine"] == []

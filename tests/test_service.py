@@ -451,7 +451,7 @@ class TestServiceEndToEnd:
         client = ServiceClient(f"http://127.0.0.1:{service.port}")
         client.submit_jobs([{"benchmark": "gzip", "scale": SMALL}])
         document = client.status()
-        assert document["protocol_version"] == 1
+        assert document["protocol_version"] == 2
         assert document["service"]["admission"]["limit"] == 32
         counters = client.metricz()
         assert (
@@ -613,13 +613,14 @@ class TestDrainAndResume:
             [SimulationJob("gzip", scale=SMALL)], client="drained"
         )
         # Graceful stop without ever starting the loop: the ticket stays
-        # journaled as queued and the ServiceProfile lands in manifest v6.
+        # journaled as queued and the ServiceProfile lands in manifest v7.
         import asyncio
 
         asyncio.run(daemon.stop())
         manifest_path = tmp_path / "cache" / "service" / "manifest.json"
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        assert manifest["manifest_version"] == 6
+        assert manifest["manifest_version"] == 7
+        assert manifest["coordination"]["peer_id"] == daemon.peer_id
         assert manifest["service"]["tickets"]["queued"] == 1
         assert manifest["service"]["draining"] is True
 
