@@ -51,7 +51,7 @@ import numpy as np
 from ..core.intervals import IntervalKind
 from ..cpu.pipeline import CPI_FP_BITS, IssueClock
 from ..cpu.trace import NO_ACCESS, STORE, TraceChunk
-from ..errors import SimulationError
+from ..errors import SimulationError, TraceValidationError
 from .cache import INVALID, SetAssociativeCache
 from .hierarchy import MemoryHierarchy
 from .replacement import FifoPolicy, LruPolicy, RandomPolicy
@@ -299,7 +299,11 @@ class BatchedCacheKernel:
         if bool(np.any(np.diff(times) < 0)) or (
             int(times[0]) < int(self._lane.set_last_time.max())
         ):
-            raise SimulationError("access times must be non-decreasing")
+            raise TraceValidationError(
+                "access times must be non-decreasing: the trace's timestamps "
+                "move backwards (within this batch or relative to an earlier "
+                "one); sort the trace by time before feeding it to the kernel"
+            )
         lane = self._lane
         sets, order, ssets, sblocks, firsts, fast, pred = lane.classify(blocks)
         hits = fast.copy()
@@ -443,6 +447,73 @@ class BatchedRunResult:
     profile: SimulationProfile
 
 
+def validate_chunk(chunk: TraceChunk, index: Optional[int] = None) -> TraceChunk:
+    """Validate one chunk at the simulation entry point.
+
+    The :class:`~repro.cpu.trace.TraceChunk` constructor enforces these
+    invariants, but real traces arrive through readers, adapters and
+    pickles that can hand the kernel arrays mutated or built after
+    construction.  Checking up front turns a crash (or silent garbage)
+    deep in the residual loop into a named, actionable error.
+    """
+    label = "trace chunk" if index is None else f"trace chunk {index}"
+    if not isinstance(chunk, TraceChunk):
+        raise TraceValidationError(
+            f"{label}: expected a TraceChunk, got {type(chunk).__name__}; "
+            "build chunks with repro.cpu.trace.TraceChunk or stream them "
+            "with repro.traces"
+        )
+    pcs, addrs, kinds = chunk.pcs, chunk.data_addresses, chunk.data_kinds
+    for name, array, dtype in (
+        ("pcs", pcs, np.int64),
+        ("data_addresses", addrs, np.int64),
+        ("data_kinds", kinds, np.uint8),
+    ):
+        if not isinstance(array, np.ndarray) or array.dtype != dtype:
+            got = getattr(array, "dtype", type(array).__name__)
+            raise TraceValidationError(
+                f"{label}: {name} must be a numpy array of dtype "
+                f"{np.dtype(dtype).name}, got {got}"
+            )
+        if array.ndim != 1:
+            raise TraceValidationError(
+                f"{label}: {name} must be one-dimensional, got shape "
+                f"{array.shape}"
+            )
+    if not (pcs.shape == addrs.shape == kinds.shape):
+        raise TraceValidationError(
+            f"{label}: column lengths differ (pcs {pcs.shape[0]}, "
+            f"data_addresses {addrs.shape[0]}, data_kinds {kinds.shape[0]})"
+        )
+    if pcs.size:
+        if int(pcs.min()) < 0:
+            raise TraceValidationError(
+                f"{label}: program counters must be non-negative"
+            )
+        if int(kinds.max()) > STORE:
+            raise TraceValidationError(
+                f"{label}: unknown data kind {int(kinds.max())}; kinds must "
+                f"be NO_ACCESS (0), LOAD (1) or STORE (2)"
+            )
+        if bool(np.any((kinds != NO_ACCESS) & (addrs < 0))):
+            raise TraceValidationError(
+                f"{label}: load/store instructions must carry a data address "
+                "(data_addresses >= 0)"
+            )
+        if bool(np.any((kinds == NO_ACCESS) & (addrs >= 0))):
+            raise TraceValidationError(
+                f"{label}: non-memory instructions must use data address -1 "
+                "(an address is present but the kind says NO_ACCESS)"
+            )
+    return chunk
+
+
+def validated_chunks(trace: Iterable[TraceChunk]) -> Iterable[TraceChunk]:
+    """Wrap a chunk stream so every chunk is validated as it is consumed."""
+    for index, chunk in enumerate(trace):
+        yield validate_chunk(chunk, index)
+
+
 def run_batched(
     hierarchy: MemoryHierarchy,
     clock: IssueClock,
@@ -486,7 +557,8 @@ def run_batched(
     stage = {"frontend": 0.0, "residual": 0.0, "assembly": 0.0, "annotate": 0.0}
     perf = _time.perf_counter
 
-    for chunk in trace:
+    for chunk_index, chunk in enumerate(trace):
+        validate_chunk(chunk, chunk_index)
         n = len(chunk)
         if n == 0:
             continue

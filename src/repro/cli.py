@@ -1,10 +1,11 @@
 """Command-line interface: ``repro-leakage`` / ``python -m repro``.
 
-Five subcommands::
+Six subcommands::
 
     repro-leakage run <experiment> [...]   # tables/figures (the default)
     repro-leakage cache {info,clear}       # result-cache maintenance
     repro-leakage sweep {plan,run,status,merge}  # sharded parameter sweeps
+    repro-leakage trace {record,info,validate,convert,simpoints}  # traces
     repro-leakage serve [...]              # the leakage-analysis daemon
     repro-leakage submit <verb> [...]      # client for a running daemon
 
@@ -89,7 +90,7 @@ from .workloads.benchmarks import BENCHMARK_NAMES
 
 #: Top-level subcommands; anything else on the command line is treated
 #: as an experiment name and routed to ``run`` (historical flat form).
-COMMANDS = ("run", "cache", "sweep", "serve", "submit")
+COMMANDS = ("run", "cache", "sweep", "trace", "serve", "submit")
 
 #: Exit code for a 429 admission refusal from the service — distinct
 #: from 2 (error) so callers can implement retry-after backoff.
@@ -150,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(commands)
     _add_cache_parser(commands)
     _add_sweep_parser(commands)
+    _add_trace_parser(commands)
     _add_serve_parser(commands)
     _add_submit_parser(commands)
     return parser
@@ -189,7 +191,9 @@ def _add_run_parser(commands) -> None:
         "--benchmarks",
         nargs="*",
         default=None,
-        help=f"restrict the suite to these benchmarks (from: {BENCHMARK_NAMES})",
+        help=f"restrict the suite to these workloads: benchmark names "
+        f"(from: {BENCHMARK_NAMES}) or 'trace:<path>' refs to recorded "
+        "traces (trace refs need --scale 1.0)",
     )
     run.add_argument(
         "--jobs",
@@ -393,6 +397,137 @@ def _add_sweep_parser(commands) -> None:
     merge.set_defaults(handler=sweep_merge_command)
 
 
+def _add_trace_parser(commands) -> None:
+    trace = commands.add_parser(
+        "trace",
+        help="record, inspect, convert and cluster workload traces",
+        description=(
+            "Recorded-trace tooling.  Traces use the native chunked format "
+            "(streaming, checksummed, compressed) and are referenced "
+            "anywhere a benchmark name is accepted as 'trace:<path>' — "
+            "run, sweep and submit all resolve them through the workload "
+            "registry, sharing content addresses with synthetic workloads."
+        ),
+    )
+    verbs = trace.add_subparsers(dest="verb", metavar="verb", required=True)
+
+    record = verbs.add_parser(
+        "record", help="capture a synthetic benchmark workload to disk"
+    )
+    record.add_argument(
+        "benchmark", metavar="BENCHMARK",
+        help=f"benchmark to record (from: {BENCHMARK_NAMES})",
+    )
+    record.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (as in 'run')",
+    )
+    record.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="trace file to write (default: <cache>/traces/"
+        "<benchmark>-s<scale>.rtr)",
+    )
+    record.add_argument(
+        "--codec", default=None, metavar="NAME",
+        help="compression codec: none, gzip (default), or zstd when the "
+        "zstandard package is installed",
+    )
+    record.add_argument(
+        "--chunk-instructions", type=int, default=None, metavar="N",
+        help="on-disk chunk size in instructions (default 65536)",
+    )
+    record.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    record.set_defaults(handler=trace_record_command)
+
+    info = verbs.add_parser(
+        "info", help="print a recorded trace's header/summary"
+    )
+    info.add_argument("path", metavar="FILE")
+    info.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    info.set_defaults(handler=trace_info_command)
+
+    validate = verbs.add_parser(
+        "validate",
+        help="verify every chunk checksum and the whole-trace digest",
+    )
+    validate.add_argument("path", metavar="FILE")
+    validate.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    validate.set_defaults(handler=trace_validate_command)
+
+    convert = verbs.add_parser(
+        "convert", help="convert a gem5 Exec text trace to the native format"
+    )
+    convert.add_argument("source", metavar="GEM5_FILE")
+    convert.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="trace file to write (default: <cache>/traces/<source>.rtr)",
+    )
+    convert.add_argument(
+        "--codec", default=None, metavar="NAME",
+        help="compression codec (as in 'record')",
+    )
+    convert.add_argument(
+        "--chunk-instructions", type=int, default=None, metavar="N",
+        help="on-disk chunk size in instructions (default 65536)",
+    )
+    convert.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    convert.set_defaults(handler=trace_convert_command)
+
+    simpoints = verbs.add_parser(
+        "simpoints",
+        help="cluster a trace into SimPoint windows; optionally estimate "
+        "whole-trace savings from the representatives",
+    )
+    simpoints.add_argument("path", metavar="FILE")
+    simpoints.add_argument(
+        "--window-instructions", type=int, default=None, metavar="N",
+        help="profiling window size (default 100000)",
+    )
+    simpoints.add_argument(
+        "--max-k", type=int, default=10, metavar="K",
+        help="cluster-count ceiling for the BIC-style search (default 10)",
+    )
+    simpoints.add_argument(
+        "--seed", type=int, default=0, help="k-means seed (default 0)"
+    )
+    simpoints.add_argument(
+        "--plan-out", default=None, metavar="FILE",
+        help="where to save the plan JSON (default: <cache>/traces/"
+        "simpoints-<digest>-w<N>.json)",
+    )
+    simpoints.add_argument(
+        "--estimate", action="store_true",
+        help="simulate the representative windows through the engine and "
+        "print the weight-averaged whole-trace savings",
+    )
+    simpoints.add_argument(
+        "--exact", action="store_true",
+        help="also simulate the full trace and report the estimation error "
+        "(implies --estimate)",
+    )
+    simpoints.add_argument(
+        "--max-error", type=float, default=None, metavar="X",
+        help="with --exact: fail (exit 2) if the max absolute savings "
+        "error exceeds X",
+    )
+    simpoints.add_argument(
+        "--nodes", nargs="*", type=int, default=None,
+        help="technology nodes in nm for --estimate (default 70 100 130 180)",
+    )
+    simpoints.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    simpoints.set_defaults(handler=trace_simpoints_command)
+
+
 def _add_serve_parser(commands) -> None:
     serve = commands.add_parser(
         "serve",
@@ -500,7 +635,9 @@ def _add_submit_parser(commands) -> None:
     )
     jobs.add_argument(
         "benchmarks", nargs="+", metavar="BENCHMARK",
-        help=f"benchmarks to simulate (from: {BENCHMARK_NAMES})",
+        help=f"workloads to simulate: benchmark names (from: "
+        f"{BENCHMARK_NAMES}) or 'trace:<path>' refs to recorded traces "
+        "readable by the daemon",
     )
     jobs.add_argument(
         "--scale", type=float, default=1.0,
@@ -615,6 +752,16 @@ def cache_command(args) -> int:
         f"entr{'y' if quarantined == 1 else 'ies'}"
         + (f" (under {store.quarantine_dir})" if quarantined else "")
     )
+    trace_files = info.get("trace_files", 0)
+    if trace_files:
+        print(
+            f"traces:          {trace_files} artifact(s), "
+            f"{info.get('trace_bytes', 0) / (1024 * 1024):.2f} MB "
+            f"(under {store.traces_dir}; counted against the size limit, "
+            f"never evicted)"
+        )
+    else:
+        print("traces:          no recorded traces")
     sharing = collect_sharing_stats(store.directory)
     if sharing["manifests"]:
         print(
@@ -626,6 +773,232 @@ def cache_command(args) -> int:
         )
     else:
         print("sharing:         no journaled runs recorded yet")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace (recorded workload traces)
+# ----------------------------------------------------------------------
+def _resolve_benchmark_refs(names: List[str]) -> List[str]:
+    """Normalize workload refs: lowercase plain names, keep trace: refs.
+
+    Every ref is validated through the workload registry, so unknown
+    names and unreadable trace files fail here with a named error
+    instead of deep inside the run.
+    """
+    from .traces.registry import DEFAULT_REGISTRY, is_trace_ref
+
+    resolved = []
+    for name in names:
+        ref = name if is_trace_ref(name) else name.lower()
+        DEFAULT_REGISTRY.validate(ref)
+        resolved.append(ref)
+    return resolved
+
+
+def _trace_destination(output: Optional[str], default_name: str):
+    from pathlib import Path
+
+    from .traces import trace_store_dir
+
+    if output:
+        return Path(output)
+    return trace_store_dir() / default_name
+
+
+def _print_trace_info(info, json_out: bool) -> None:
+    if json_out:
+        from .service.protocol import dumps_stable
+
+        print(dumps_stable(info.to_dict()), end="")
+        return
+    print(f"trace:        {info.path}")
+    print(f"codec:        {info.codec}")
+    print(f"chunks:       {info.chunks} x {info.chunk_instructions} instructions")
+    print(f"instructions: {info.instructions}")
+    print(f"digest:       {info.digest}")
+    print(f"file size:    {info.file_bytes / (1024 * 1024):.2f} MB")
+    print(f"provenance:   {info.provenance or 'none'}")
+    print(f"ref:          trace:{info.path}")
+
+
+def _trace_format_kwargs(args) -> dict:
+    kwargs = {}
+    if args.codec is not None:
+        kwargs["codec"] = args.codec
+    if args.chunk_instructions is not None:
+        if args.chunk_instructions <= 0:
+            raise ReproError(
+                f"--chunk-instructions must be positive, "
+                f"got {args.chunk_instructions}"
+            )
+        kwargs["chunk_instructions"] = args.chunk_instructions
+    return kwargs
+
+
+def trace_record_command(args) -> int:
+    from .traces import TRACE_SUFFIX, record_benchmark
+
+    name = args.benchmark.lower()
+    if name not in BENCHMARK_NAMES:
+        return _fail(
+            f"unknown benchmark {args.benchmark!r}; choose from {BENCHMARK_NAMES}"
+        )
+    if not args.scale > 0:
+        return _fail(f"--scale must be positive, got {args.scale}")
+    dest = _trace_destination(
+        args.output, f"{name}-s{args.scale:g}{TRACE_SUFFIX}"
+    )
+    try:
+        info = record_benchmark(
+            name, dest, scale=args.scale, **_trace_format_kwargs(args)
+        )
+    except ReproError as error:
+        return _fail(str(error))
+    except OSError as error:
+        return _fail(f"writing the trace failed: {error}")
+    _print_trace_info(info, args.json)
+    return 0
+
+
+def trace_info_command(args) -> int:
+    from .traces import TraceRecording
+
+    try:
+        _print_trace_info(TraceRecording(args.path).info(), args.json)
+    except ReproError as error:
+        return _fail(str(error))
+    return 0
+
+
+def trace_validate_command(args) -> int:
+    from .traces import TraceRecording
+
+    try:
+        info = TraceRecording(args.path).validate()
+    except ReproError as error:
+        return _fail(str(error))
+    if args.json:
+        from .service.protocol import dumps_stable
+
+        print(dumps_stable({"ok": True, "trace": info.to_dict()}), end="")
+        return 0
+    print(
+        f"ok: {info.path} — {info.chunks} chunk(s), {info.instructions} "
+        f"instruction(s), every checksum and the whole-trace digest verified"
+    )
+    return 0
+
+
+def trace_convert_command(args) -> int:
+    from pathlib import Path
+
+    from .traces import TRACE_SUFFIX, convert_gem5_text
+
+    dest = _trace_destination(
+        args.output, f"{Path(args.source).stem}{TRACE_SUFFIX}"
+    )
+    try:
+        report = convert_gem5_text(
+            args.source, dest, **_trace_format_kwargs(args)
+        )
+    except ReproError as error:
+        return _fail(str(error))
+    except OSError as error:
+        return _fail(f"converting the trace failed: {error}")
+    if args.json:
+        from .service.protocol import dumps_stable
+
+        print(dumps_stable(report.to_dict()), end="")
+        return 0
+    print(
+        f"converted {report.source}: {report.instructions} instruction(s) "
+        f"({report.loads} load(s), {report.stores} store(s)), "
+        f"{report.skipped_lines} line(s) skipped"
+    )
+    _print_trace_info(report.info, False)
+    return 0
+
+
+def _print_estimate(label: str, document: dict) -> None:
+    print(f"{label} savings (scheme x node):")
+    nodes = document["nodes"]
+    for cache, grid in document["savings"].items():
+        for scheme, row in zip(document["schemes"], grid):
+            cells = "  ".join(
+                f"{nm}nm {value:.3f}" for nm, value in zip(nodes, row)
+            )
+            print(f"  {cache:<6} {scheme:<11} {cells}")
+
+
+def trace_simpoints_command(args) -> int:
+    from pathlib import Path
+
+    from .traces import estimate as est
+
+    if args.window_instructions is not None and args.window_instructions <= 0:
+        return _fail(
+            f"--window-instructions must be positive, "
+            f"got {args.window_instructions}"
+        )
+    if args.max_k < 1:
+        return _fail(f"--max-k must be at least 1, got {args.max_k}")
+    if args.max_error is not None and not args.exact:
+        return _fail("--max-error needs --exact (nothing to compare against)")
+    wants_estimate = args.estimate or args.exact
+    try:
+        plan_kwargs = {}
+        if args.window_instructions is not None:
+            plan_kwargs["window_instructions"] = args.window_instructions
+        plan = est.plan_simpoints(
+            args.path, max_k=args.max_k, seed=args.seed, **plan_kwargs
+        )
+        plan_path = est.save_plan(
+            plan, Path(args.plan_out) if args.plan_out else None
+        )
+        document = {"plan": plan.to_dict(), "plan_path": str(plan_path)}
+        if wants_estimate:
+            nodes = tuple(args.nodes) if args.nodes else est.DEFAULT_NODES
+            engine = ExecutionEngine()
+            estimated = est.estimate_savings(plan, nodes=nodes, engine=engine)
+            document["estimate"] = estimated.to_dict()
+            if args.exact:
+                exact = est.exact_savings(
+                    plan.trace_path, nodes=nodes, engine=engine
+                )
+                document["exact"] = exact.to_dict()
+                document["max_abs_error"] = estimated.max_abs_error(exact)
+    except ReproError as error:
+        return _fail(str(error))
+    except OSError as error:
+        return _fail(f"simpoint planning failed: {error}")
+    if args.json:
+        from .service.protocol import dumps_stable
+
+        print(dumps_stable(document), end="")
+    else:
+        print(f"trace:    {plan.trace_path}")
+        print(
+            f"windows:  {plan.n_windows} x {plan.window_instructions} "
+            f"instructions"
+        )
+        print(f"simpoints ({len(plan.windows)}):")
+        for window, weight in zip(plan.windows, plan.weights):
+            print(f"  window {window:>6}  weight {weight:.4f}")
+        print(f"plan:     {plan_path}")
+        if wants_estimate:
+            _print_estimate("estimated", document["estimate"])
+        if args.exact:
+            _print_estimate("exact", document["exact"])
+            print(f"max abs savings error: {document['max_abs_error']:.4f}")
+    if (
+        args.max_error is not None
+        and document["max_abs_error"] > args.max_error
+    ):
+        return _fail(
+            f"simpoint estimation error {document['max_abs_error']:.4f} "
+            f"exceeds the --max-error bound {args.max_error}"
+        )
     return 0
 
 
@@ -672,12 +1045,10 @@ def run_command(args) -> int:
         return 0
     benchmarks = args.benchmarks
     if benchmarks is not None:
-        benchmarks = [name.lower() for name in benchmarks]
-        unknown = [name for name in benchmarks if name not in BENCHMARK_NAMES]
-        if unknown:
-            return _fail(
-                f"unknown benchmarks {unknown}; choose from {BENCHMARK_NAMES}"
-            )
+        try:
+            benchmarks = _resolve_benchmark_refs(benchmarks)
+        except ReproError as error:
+            return _fail(str(error))
     try:
         journal = _make_journal(args)
         engine = ExecutionEngine(
@@ -934,12 +1305,10 @@ def submit_jobs_command(args) -> int:
     from .service.client import ServiceRejected
     from .service.protocol import dumps_stable
 
-    benchmarks = [name.lower() for name in args.benchmarks]
-    unknown = [name for name in benchmarks if name not in BENCHMARK_NAMES]
-    if unknown:
-        return _fail(
-            f"unknown benchmarks {unknown}; choose from {BENCHMARK_NAMES}"
-        )
+    try:
+        benchmarks = _resolve_benchmark_refs(args.benchmarks)
+    except ReproError as error:
+        return _fail(str(error))
     specs = [
         {"benchmark": name, "scale": args.scale} for name in benchmarks
     ]

@@ -21,7 +21,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..cache.hierarchy import HierarchyConfig, MemoryHierarchy
-from ..cache.kernel import SimulationProfile, kernel_supported, run_batched
+from ..cache.kernel import (
+    SimulationProfile,
+    kernel_supported,
+    run_batched,
+    validated_chunks,
+)
 from ..cache.stats import HierarchyStats
 from ..core.intervals import IntervalSet
 from ..errors import SimulationError
@@ -132,7 +137,9 @@ class TraceSimulator:
         accesses_before = hierarchy.l1i.stats.accesses + hierarchy.l1d.stats.accesses
         started = _time.perf_counter()
 
-        for chunk in trace:
+        # Same entry validation as the batched kernel: malformed chunks
+        # fail with a named error, not garbage deep in the access loop.
+        for chunk in validated_chunks(trace):
             pcs = chunk.pcs
             addrs = chunk.data_addresses
             kinds = chunk.data_kinds
@@ -183,5 +190,12 @@ def simulate_trace(
     pipeline: Optional[PipelineConfig] = None,
     kernel: Optional[bool] = None,
 ) -> SimulationResult:
-    """One-shot convenience wrapper around :class:`TraceSimulator`."""
+    """One-shot convenience wrapper around :class:`TraceSimulator`.
+
+    Chunks are validated up front on both execution paths (dtype, shape,
+    data-kind/address consistency; the kernel additionally rejects
+    non-monotonic access times): malformed input raises
+    :class:`~repro.errors.TraceValidationError` naming the offending
+    chunk instead of failing deep inside the simulation loop.
+    """
     return TraceSimulator(hierarchy, pipeline, kernel=kernel).run(trace)

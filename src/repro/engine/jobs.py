@@ -17,7 +17,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
 from ..cpu.pipeline import PipelineConfig
-from ..errors import EngineError
+from ..errors import EngineError, ReproError
 from ..prefetch.analysis import AnnotatedSimulationResult, AnnotatingSimulator
 from ..workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
 
@@ -43,7 +43,14 @@ SOURCE_SUBPROCESS_FALLBACK = "subprocess-fallback"
 
 @dataclass(frozen=True)
 class SimulationJob:
-    """One benchmark simulation point: name x scale x pipeline config."""
+    """One workload simulation point: workload ref x scale x pipeline config.
+
+    ``benchmark`` is any ref the workload registry
+    (:mod:`repro.traces.registry`) resolves: a synthetic benchmark name
+    (``"gzip"``) or a recorded trace ref (``"trace:/path/file.rtr"``,
+    optionally with a ``#window:window_instructions`` suffix).  Recorded
+    traces run at scale 1.0 — they carry their own length.
+    """
 
     benchmark: str
     scale: float = 1.0
@@ -51,19 +58,47 @@ class SimulationJob:
 
     def __post_init__(self) -> None:
         if self.benchmark not in BENCHMARK_NAMES:
-            raise EngineError(
-                f"unknown benchmark {self.benchmark!r}; known: {BENCHMARK_NAMES}"
-            )
+            # Not a paper-suite benchmark: anything else must resolve
+            # through the workload registry (registered synthetics and
+            # trace refs).  Imported lazily: repro.traces sits above the
+            # engine in the layering, so a module-level import would cycle.
+            from ..traces.registry import DEFAULT_REGISTRY, is_trace_ref
+
+            try:
+                DEFAULT_REGISTRY.validate(self.benchmark)
+            except ReproError as error:
+                raise EngineError(str(error)) from None
+            if is_trace_ref(self.benchmark) and float(self.scale) != 1.0:
+                raise EngineError(
+                    f"{self.benchmark!r}: a recorded trace carries its own "
+                    f"scale; submit trace refs at scale 1.0 (got {self.scale!r})"
+                )
         if not self.scale > 0:
             raise EngineError(f"scale must be positive, got {self.scale!r}")
 
     def fingerprint(self) -> Dict:
-        """Canonical, JSON-stable parameter record this job is keyed by."""
-        return {
-            "benchmark": self.benchmark,
-            "scale": repr(float(self.scale)),
-            "pipeline": None if self.pipeline is None else asdict(self.pipeline),
-        }
+        """Canonical, JSON-stable parameter record this job is keyed by.
+
+        For registry-resolved workloads the identity comes from the
+        registry: a trace recorded from a synthetic benchmark fingerprints
+        *identically* to the synthetic original (same content address →
+        same cache entry, same coalescing), and a foreign trace is keyed
+        by its chunking/codec-independent content digest.
+        """
+        if self.benchmark in BENCHMARK_NAMES:
+            identity: Dict = {
+                "benchmark": self.benchmark,
+                "scale": repr(float(self.scale)),
+            }
+        else:
+            from ..traces.registry import resolve_workload
+
+            try:
+                identity = resolve_workload(self.benchmark).identity(self.scale)
+            except ReproError as error:
+                raise EngineError(str(error)) from None
+        identity["pipeline"] = None if self.pipeline is None else asdict(self.pipeline)
+        return identity
 
     def key(self) -> str:
         """Content address: SHA-256 over the canonical parameters.
@@ -75,9 +110,31 @@ class SimulationJob:
         canonical = json.dumps(self.fingerprint(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def canonical_workload(self) -> tuple:
+        """``(benchmark, scale)`` as the content address sees them.
+
+        A trace recorded from a paper-suite benchmark resolves to the
+        *synthetic* name and scale it was recorded at, so every document
+        derived from it (service result payloads, reports) serializes
+        byte-identically to the inline synthetic run sharing its key.
+        Foreign traces and window refs keep the job's own fields.
+        """
+        identity = self.fingerprint()
+        if set(identity) == {"benchmark", "scale", "pipeline"}:
+            return identity["benchmark"], float(identity["scale"])
+        return self.benchmark, float(self.scale)
+
     def describe(self) -> str:
         """Short human-readable label for logs and telemetry."""
-        return f"{self.benchmark}@{self.scale:g}"
+        if self.benchmark in BENCHMARK_NAMES:
+            return f"{self.benchmark}@{self.scale:g}"
+        from ..traces.registry import DEFAULT_REGISTRY
+
+        try:
+            label = DEFAULT_REGISTRY.resolve(self.benchmark).describe()
+            return f"{label}@{self.scale:g}"
+        except ReproError:
+            return f"{self.benchmark}@{self.scale:g}"
 
 
 @dataclass(frozen=True)
@@ -102,7 +159,17 @@ class JobOutcome:
 
 
 def execute_job(job: SimulationJob) -> AnnotatedSimulationResult:
-    """Simulate one job; deterministic in the job parameters."""
-    workload = make_benchmark(job.benchmark, scale=job.scale)
+    """Simulate one job; deterministic in the job parameters.
+
+    Recorded traces are *streamed*: the registry hands back a chunk
+    iterator backed by the on-disk reader, so peak memory stays bounded
+    by the chunk size however large the trace file is.
+    """
+    if job.benchmark in BENCHMARK_NAMES:
+        chunks = make_benchmark(job.benchmark, scale=job.scale).chunks()
+    else:
+        from ..traces.registry import resolve_workload
+
+        chunks = resolve_workload(job.benchmark).chunks(job.scale)
     simulator = AnnotatingSimulator(pipeline=job.pipeline)
-    return simulator.run(workload.chunks())
+    return simulator.run(chunks)

@@ -49,6 +49,10 @@ ENV_CACHE_MAX_MB = "REPRO_CACHE_MAX_MB"
 #: Default cache location when neither argument nor environment is set.
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-leakage"
 
+#: Subdirectory (under the cache) holding recorded traces and SimPoint
+#: plans — durable *inputs*, unlike the recomputable result entries.
+TRACES_SUBDIR = "traces"
+
 
 def resolve_cache_dir(directory: Optional[os.PathLike] = None) -> Path:
     """Cache directory from the argument, the environment, or the default."""
@@ -121,6 +125,27 @@ class ResultStore:
     def quarantine_dir(self) -> Path:
         """Where corrupt entries are preserved for post-mortems."""
         return self.directory / "quarantine"
+
+    @property
+    def traces_dir(self) -> Path:
+        """Where recorded traces and SimPoint plans live."""
+        return self.directory / TRACES_SUBDIR
+
+    def _trace_usage(self) -> tuple:
+        """(file count, total bytes) of trace artifacts under the cache."""
+        files = 0
+        total = 0
+        try:
+            candidates = [p for p in self.traces_dir.rglob("*") if p.is_file()]
+        except OSError:
+            candidates = []
+        for path in candidates:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            files += 1
+        return files, total
 
     def get(self, key: str) -> Optional[Any]:
         """The stored payload, or ``None`` on miss/mismatch/corruption."""
@@ -198,12 +223,16 @@ class ResultStore:
         """Evict least-recently-used entries until the cache fits.
 
         The entry just written (``protect``) is never evicted, so a
-        single oversized result cannot churn the cache forever.
+        single oversized result cannot churn the cache forever.  Trace
+        artifacts under ``traces/`` count *toward* the budget — they are
+        real disk usage the ``REPRO_CACHE_MAX_MB`` bound must stay honest
+        about — but are never evicted themselves: a recorded trace is an
+        irreplaceable input, not a recomputable result.
         """
         if not self.max_bytes:
             return
         entries = []
-        total = 0
+        total = self._trace_usage()[1]
         try:
             candidates = list(self.directory.glob("*.pkl"))
         except OSError:
@@ -280,12 +309,15 @@ class ResultStore:
             quarantined = len(list(self.quarantine_dir.glob("*.pkl")))
         except OSError:
             quarantined = 0
+        trace_files, trace_bytes = self._trace_usage()
         return {
             "directory": str(self.directory),
             "entries": entries,
             "bytes": total,
             "max_bytes": self.max_bytes,
             "quarantined": quarantined,
+            "trace_files": trace_files,
+            "trace_bytes": trace_bytes,
         }
 
     def describe(self) -> str:

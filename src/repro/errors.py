@@ -61,6 +61,35 @@ class TraceError(ReproError):
     """A trace file or trace stream could not be parsed or validated."""
 
 
+class TraceFormatError(TraceError):
+    """A recorded trace file violates the on-disk format.
+
+    Raised for bad magic/version, truncated frames, per-chunk checksum
+    mismatches, or a whole-trace digest that does not match the chunk
+    stream.  Distinct from :class:`TraceError` so callers can tell
+    corruption of a recorded artifact apart from malformed fixture input.
+    """
+
+
+class TraceValidationError(SimulationError):
+    """A trace chunk fed to the simulation kernel violates its contract.
+
+    Raised at the kernel entry (wrong column dtype/shape, unknown data
+    kinds, inconsistent address columns, non-monotonic access times) so
+    malformed external traces fail with a named, actionable error instead
+    of deep inside the residual loop.
+    """
+
+
+class WorkloadRefError(ReproError):
+    """A workload reference could not be parsed or resolved.
+
+    Raised by the workload registry (:mod:`repro.traces.registry`) for
+    unknown benchmark names, malformed ``trace:`` refs, and trace refs
+    pointing at missing or unreadable files.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown name or bad args."""
 

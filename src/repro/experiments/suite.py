@@ -66,11 +66,24 @@ class SuiteRunner:
         self.benchmark_names: List[str] = (
             list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
         )
-        unknown = [n for n in self.benchmark_names if n not in BENCHMARK_NAMES]
-        if unknown:
-            raise ExperimentError(
-                f"unknown benchmarks {unknown}; known: {BENCHMARK_NAMES}"
-            )
+        # Names outside the paper suite must resolve through the workload
+        # registry (registered synthetics and trace: refs).  Lazy import:
+        # repro.traces layers above the engine this module drives.
+        other = [n for n in self.benchmark_names if n not in BENCHMARK_NAMES]
+        if other:
+            from ..errors import ReproError
+            from ..traces.registry import DEFAULT_REGISTRY, is_trace_ref
+
+            for name in other:
+                try:
+                    DEFAULT_REGISTRY.validate(name)
+                except ReproError as error:
+                    raise ExperimentError(str(error)) from None
+                if is_trace_ref(name) and float(scale) != 1.0:
+                    raise ExperimentError(
+                        f"{name!r}: a recorded trace carries its own scale; "
+                        f"run trace refs at scale 1.0 (got {scale!r})"
+                    )
         self._engine = engine
         self._cache: Dict[str, BenchmarkRun] = {}
 

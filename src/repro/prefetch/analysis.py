@@ -29,7 +29,12 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from ..cache.hierarchy import HierarchyConfig, MemoryHierarchy
-from ..cache.kernel import SimulationProfile, kernel_supported, run_batched
+from ..cache.kernel import (
+    SimulationProfile,
+    kernel_supported,
+    run_batched,
+    validated_chunks,
+)
 from ..core.intervals import IntervalSet
 from ..cpu.pipeline import IssueClock, PipelineConfig
 from ..cpu.simulator import SimulationResult
@@ -282,7 +287,8 @@ class AnnotatingSimulator:
         prev_igroup = -1
         started = _time.perf_counter()
 
-        for chunk in trace:
+        # Mirror the batched kernel's entry validation on the scalar path.
+        for chunk in validated_chunks(trace):
             pcs = chunk.pcs
             addrs = chunk.data_addresses
             kinds = chunk.data_kinds

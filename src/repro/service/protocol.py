@@ -132,9 +132,10 @@ def job_result_payload(job: SimulationJob, annotated) -> Dict:
             "misses": int(stats.misses),
             "evictions": int(stats.evictions),
         }
+    benchmark, scale = job.canonical_workload()
     return {
-        "benchmark": job.benchmark,
-        "scale": float(job.scale),
+        "benchmark": benchmark,
+        "scale": float(scale),
         "key": job.key(),
         "instructions": int(result.instructions),
         "cycles": int(result.cycles),
@@ -171,6 +172,8 @@ def cache_info_payload(store) -> Dict:
         "bytes": int(info["bytes"]),
         "max_bytes": info["max_bytes"],
         "quarantined": int(info.get("quarantined", 0)),
+        "trace_files": int(info.get("trace_files", 0)),
+        "trace_bytes": int(info.get("trace_bytes", 0)),
         "sharing": collect_sharing_stats(store.directory),
     }
 

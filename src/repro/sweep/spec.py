@@ -143,12 +143,29 @@ class SweepSpec:
                     f"sweep {self.name!r}: duplicate entries on the "
                     f"{axis} axis: {list(values)}"
                 )
-        unknown = [b for b in self.benchmarks if b not in BENCHMARK_NAMES]
-        if unknown:
-            raise ConfigurationError(
-                f"sweep {self.name!r}: unknown benchmarks {unknown}; "
-                f"known: {BENCHMARK_NAMES}"
-            )
+        # Benchmarks outside the paper suite resolve through the workload
+        # registry: registered synthetics and trace: refs sweep like any
+        # other benchmark.  Lazy import — repro.traces layers above sweep.
+        other = [b for b in self.benchmarks if b not in BENCHMARK_NAMES]
+        if other:
+            from ..errors import ReproError
+            from ..traces.registry import DEFAULT_REGISTRY, is_trace_ref
+
+            for ref in other:
+                try:
+                    DEFAULT_REGISTRY.validate(ref)
+                except ReproError as error:
+                    raise ConfigurationError(
+                        f"sweep {self.name!r}: {error}"
+                    ) from None
+                if is_trace_ref(ref):
+                    bad = [s for s in self.scales if float(s) != 1.0]
+                    if bad:
+                        raise ConfigurationError(
+                            f"sweep {self.name!r}: {ref!r} is a recorded trace "
+                            f"and carries its own scale; a sweep mixing trace "
+                            f"refs must use scales (1.0,), got {list(self.scales)}"
+                        )
         bad_scales = [s for s in self.scales if not s > 0]
         if bad_scales:
             raise ConfigurationError(

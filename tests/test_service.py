@@ -647,6 +647,8 @@ class TestServiceCli:
             "max_bytes",
             "quarantined",
             "sharing",
+            "trace_bytes",
+            "trace_files",
         }
         assert main(["cache", "info", "--json"]) == 0
         assert capsys.readouterr().out == first
