@@ -41,6 +41,8 @@ scalar path.
 
 from __future__ import annotations
 
+import ctypes
+import os
 import time as _time
 from bisect import bisect_left
 from dataclasses import dataclass, field
@@ -51,7 +53,8 @@ import numpy as np
 from ..core.intervals import IntervalKind
 from ..cpu.pipeline import CPI_FP_BITS, IssueClock
 from ..cpu.trace import NO_ACCESS, STORE, TraceChunk
-from ..errors import SimulationError, TraceValidationError
+from ..errors import ConfigurationError, SimulationError, TraceValidationError
+from . import native
 from .cache import INVALID, SetAssociativeCache
 from .hierarchy import MemoryHierarchy
 from .replacement import FifoPolicy, LruPolicy, RandomPolicy
@@ -62,6 +65,65 @@ _COLD = int(IntervalKind.COLD)
 
 #: Replacement policies whose on-access state the kernel can fold exactly.
 EXACT_POLICIES = (LruPolicy, FifoPolicy, RandomPolicy)
+
+#: Environment knob selecting the simulation kernel (see
+#: :func:`resolve_kernel_mode`).
+ENV_KERNEL = "REPRO_KERNEL"
+
+#: Accepted kernel selectors.  ``auto`` resolves to ``compiled`` when
+#: the native residual library is loadable and ``batched`` otherwise.
+KERNEL_MODES = ("auto", "scalar", "batched", "compiled")
+
+#: Residual-loop implementations inside the batched kernel.
+RESIDUAL_IMPLS = ("python", "compiled")
+
+
+def resolve_kernel_mode(value: object = None) -> str:
+    """Resolve a kernel selector to ``scalar``/``batched``/``compiled``.
+
+    ``value`` may be a mode string, a legacy bool (``True`` = batched,
+    ``False`` = scalar), or ``None`` — which consults ``REPRO_KERNEL``
+    and defaults to ``auto``.  ``auto`` prefers the compiled residual
+    loop when the host can build/load it (:mod:`repro.cache.native`)
+    and degrades to the pure-python batched loop otherwise, so a
+    pure-python environment resolves identically everywhere with no
+    configuration.
+    """
+    if value is None:
+        value = os.environ.get(ENV_KERNEL, "").strip() or "auto"
+    if isinstance(value, bool):
+        value = "batched" if value else "scalar"
+    mode = str(value).strip().lower()
+    if mode not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"unknown kernel mode {value!r}; choose one of "
+            f"{list(KERNEL_MODES)} (also settable via {ENV_KERNEL})"
+        )
+    if mode == "auto":
+        return "compiled" if native.native_available() else "batched"
+    return mode
+
+
+def resolve_residual_impl(residual: Optional[str] = None) -> str:
+    """Resolve the residual-loop implementation for the batched kernel.
+
+    ``None`` follows the resolved kernel mode; ``"compiled"`` degrades
+    to ``"python"`` when the native library is unavailable — requesting
+    the compiled loop is a preference, never a hard requirement, so
+    compiler-less hosts run the whole suite unchanged.
+    """
+    if residual is None:
+        mode = resolve_kernel_mode()
+        residual = "compiled" if mode == "compiled" else "python"
+    impl = str(residual).strip().lower()
+    if impl not in RESIDUAL_IMPLS:
+        raise ConfigurationError(
+            f"unknown residual implementation {residual!r}; choose one of "
+            f"{list(RESIDUAL_IMPLS)}"
+        )
+    if impl == "compiled" and not native.native_available():
+        return "python"
+    return impl
 
 
 @dataclass(frozen=True)
@@ -78,6 +140,9 @@ class SimulationProfile:
     fast_path_accesses: int = 0
     slow_path_accesses: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Which residual implementation ran: ``"python"`` or ``"compiled"``
+    #: for batched runs, ``"scalar"`` for the oracle path.
+    residual_impl: str = "python"
 
     @property
     def total_accesses(self) -> int:
@@ -93,6 +158,7 @@ class SimulationProfile:
         """JSON-ready record for manifests and telemetry."""
         return {
             "mode": self.mode,
+            "residual_impl": self.residual_impl,
             "fast_path_accesses": int(self.fast_path_accesses),
             "slow_path_accesses": int(self.slow_path_accesses),
             "fast_path_share": float(self.fast_path_share),
@@ -268,6 +334,70 @@ def _event_frames(lane: _Lane, count, order, ssets, firsts, fast, res_frames,
     return frames
 
 
+def _compiled_timed_chunk(
+    lib, lane_i, lane_d, miss_cb, rng_cb, timing, stalls,
+    m_pos, m_is_d, m_block, m_set, m_catch, m_base, m_cbase, m_store,
+):
+    """Run one chunk's merged residual stream through the C loop.
+
+    Returns ``(stalls, stall_positions, stall_totals, records_i,
+    records_d, counters_i, counters_d)`` with the same content the
+    python residual loop would have produced (records as arrays instead
+    of lists; the assembly stage accepts either).
+    """
+    n = len(m_pos)
+    n_d = int(np.count_nonzero(m_is_d))
+    bridge_i = native.LaneBridge(lane_i, n - n_d, want_frames=True)
+    bridge_d = native.LaneBridge(lane_d, n_d, want_frames=True)
+    bridge_d.set_lane_id(1)
+    cfg = native.make_config(
+        invalid_tag=INVALID,
+        kind_normal=_NORMAL,
+        kind_cold=_COLD,
+        kind_dead=_DEAD,
+        chunk_start_stalls=stalls,
+        **timing,
+    )
+    stall_positions = np.empty(n, dtype=np.int64)
+    stall_totals = np.empty(n, dtype=np.int64)
+    n_stalls = np.zeros(1, dtype=np.int64)
+    is_d_u8 = np.ascontiguousarray(m_is_d).view(np.uint8)
+    store_u8 = np.ascontiguousarray(m_store).view(np.uint8)
+    stalls = int(
+        lib.repro_residual_timed(
+            n,
+            native.ptr_i64(np.ascontiguousarray(m_pos)),
+            native.ptr_u8(is_d_u8),
+            native.ptr_i64(np.ascontiguousarray(m_block)),
+            native.ptr_i64(np.ascontiguousarray(m_set)),
+            native.ptr_i64(np.ascontiguousarray(m_catch)),
+            native.ptr_i64(np.ascontiguousarray(m_base)),
+            native.ptr_i64(np.ascontiguousarray(m_cbase)),
+            native.ptr_u8(store_u8),
+            ctypes.byref(bridge_i.struct),
+            ctypes.byref(bridge_d.struct),
+            ctypes.byref(cfg),
+            miss_cb,
+            rng_cb,
+            native.ptr_i64(stall_positions),
+            native.ptr_i64(stall_totals),
+            native.ptr_i64(n_stalls),
+        )
+    )
+    bridge_i.writeback()
+    bridge_d.writeback()
+    count = int(n_stalls[0])
+    return (
+        stalls,
+        stall_positions[:count],
+        stall_totals[:count],
+        bridge_i.records(),
+        bridge_d.records(),
+        bridge_i.counters(),
+        bridge_d.counters(),
+    )
+
+
 class BatchedCacheKernel:
     """Array-at-a-time access engine for one :class:`SetAssociativeCache`.
 
@@ -283,9 +413,19 @@ class BatchedCacheKernel:
     depend on the misses the kernel itself discovers.
     """
 
-    def __init__(self, cache: SetAssociativeCache) -> None:
+    def __init__(
+        self, cache: SetAssociativeCache, residual: Optional[str] = None
+    ) -> None:
         self._lane = _Lane(cache)
         self.cache = cache
+        #: Residual implementation actually in use ("python"/"compiled").
+        self.residual_impl = resolve_residual_impl(residual)
+        self._seen_cb = None
+        self._rng_cb = None
+        if self.residual_impl == "compiled":
+            lanes = (self._lane, self._lane)
+            self._seen_cb = native.make_seen_cb(lanes)
+            self._rng_cb = native.make_rng_cb(lanes)
 
     def access_blocks(self, blocks: np.ndarray, times: np.ndarray) -> np.ndarray:
         """Access ``blocks[k]`` at ``times[k]``; returns the hit mask."""
@@ -312,84 +452,91 @@ class BatchedCacheKernel:
         lane.fast_accesses += int(fast.sum())
         lane.slow_accesses += len(res_idx)
 
-        # Residual loop (times are inputs here, so no stall bookkeeping).
-        tags = lane.tags
-        assoc = lane.assoc
-        frame_last = lane.frame_last
-        lru_touch = lane.lru_touch
-        fifo_next = lane.fifo_next
-        rng = lane.rng
-        blocks_seen = lane.blocks_seen
-        set_last_frame = lane.set_last_frame
-        start_time = lane.start_time
-        res_keys, res_gaps, res_kinds = [], [], []
-        n_hits = n_miss = n_comp = n_evict = 0
-        for event, block, set_index, catch_pos in zip(
-            res_idx.tolist(),
-            blocks[res_idx].tolist(),
-            sets[res_idx].tolist(),
-            catch.tolist(),
-        ):
-            now = int(times[event])
-            if catch_pos >= 0:
-                stamp = int(times[catch_pos])
-                run_frame = set_last_frame[set_index]
-                frame_last[run_frame] = stamp
-                if lru_touch is not None:
-                    lru_touch[run_frame] = stamp
-            base = set_index * assoc
-            way = -1
-            for candidate in range(assoc):
-                if tags[base + candidate] == block:
-                    way = candidate
-                    break
-            if way >= 0:
-                n_hits += 1
-                hits[event] = True
-                frame = base + way
-                last = frame_last[frame]
-                gap = now - last
-                if gap > 0:
-                    res_keys.append(event)
-                    res_gaps.append(gap)
-                    res_kinds.append(_NORMAL)
-            else:
-                n_miss += 1
-                if block not in blocks_seen:
-                    n_comp += 1
-                    blocks_seen.add(block)
-                victim = -1
-                for candidate in range(assoc):
-                    if tags[base + candidate] == INVALID:
-                        victim = candidate
-                        break
-                if victim < 0:
+        if self.residual_impl == "compiled" and len(res_idx):
+            records, counters = self._access_residual_compiled(
+                hits, blocks, times, sets, res_idx, catch
+            )
+            res_keys, res_gaps, res_kinds = records
+            n_hits, n_miss, n_comp, n_evict = counters
+        else:
+            # Residual loop (times are inputs; no stall bookkeeping).
+            tags = lane.tags
+            assoc = lane.assoc
+            frame_last = lane.frame_last
+            lru_touch = lane.lru_touch
+            fifo_next = lane.fifo_next
+            rng = lane.rng
+            blocks_seen = lane.blocks_seen
+            set_last_frame = lane.set_last_frame
+            start_time = lane.start_time
+            res_keys, res_gaps, res_kinds = [], [], []
+            n_hits = n_miss = n_comp = n_evict = 0
+            for event, block, set_index, catch_pos in zip(
+                res_idx.tolist(),
+                blocks[res_idx].tolist(),
+                sets[res_idx].tolist(),
+                catch.tolist(),
+            ):
+                now = int(times[event])
+                if catch_pos >= 0:
+                    stamp = int(times[catch_pos])
+                    run_frame = set_last_frame[set_index]
+                    frame_last[run_frame] = stamp
                     if lru_touch is not None:
-                        window = lru_touch[base : base + assoc]
-                        victim = window.index(min(window))
-                    elif fifo_next is not None:
-                        victim = fifo_next[set_index]
-                        fifo_next[set_index] = (victim + 1) % assoc
-                    else:
-                        victim = rng.randrange(assoc)
-                    n_evict += 1
-                frame = base + victim
-                tags[frame] = block
-                last = frame_last[frame]
-                if last == -1:
-                    gap = now - start_time
-                    kind = _COLD
-                else:
+                        lru_touch[run_frame] = stamp
+                base = set_index * assoc
+                way = -1
+                for candidate in range(assoc):
+                    if tags[base + candidate] == block:
+                        way = candidate
+                        break
+                if way >= 0:
+                    n_hits += 1
+                    hits[event] = True
+                    frame = base + way
+                    last = frame_last[frame]
                     gap = now - last
-                    kind = _DEAD
-                if gap > 0:
-                    res_keys.append(event)
-                    res_gaps.append(gap)
-                    res_kinds.append(kind)
-            if lru_touch is not None:
-                lru_touch[frame] = now
-            frame_last[frame] = now
-            set_last_frame[set_index] = frame
+                    if gap > 0:
+                        res_keys.append(event)
+                        res_gaps.append(gap)
+                        res_kinds.append(_NORMAL)
+                else:
+                    n_miss += 1
+                    if block not in blocks_seen:
+                        n_comp += 1
+                        blocks_seen.add(block)
+                    victim = -1
+                    for candidate in range(assoc):
+                        if tags[base + candidate] == INVALID:
+                            victim = candidate
+                            break
+                    if victim < 0:
+                        if lru_touch is not None:
+                            window = lru_touch[base : base + assoc]
+                            victim = window.index(min(window))
+                        elif fifo_next is not None:
+                            victim = fifo_next[set_index]
+                            fifo_next[set_index] = (victim + 1) % assoc
+                        else:
+                            victim = rng.randrange(assoc)
+                        n_evict += 1
+                    frame = base + victim
+                    tags[frame] = block
+                    last = frame_last[frame]
+                    if last == -1:
+                        gap = now - start_time
+                        kind = _COLD
+                    else:
+                        gap = now - last
+                        kind = _DEAD
+                    if gap > 0:
+                        res_keys.append(event)
+                        res_gaps.append(gap)
+                        res_kinds.append(kind)
+                if lru_touch is not None:
+                    lru_touch[frame] = now
+                frame_last[frame] = now
+                set_last_frame[set_index] = frame
 
         lane.flush_stats(count, n_hits + int(fast.sum()), n_miss, n_comp, n_evict)
 
@@ -425,6 +572,37 @@ class BatchedCacheKernel:
         lane.set_last_time[ssets[last_of_set]] = times[last_idx]
         lane.close_trailing_runs(sets, times, last_idx[fast[last_idx]])
         return hits
+
+    def _access_residual_compiled(self, hits, blocks, times, sets, res_idx, catch):
+        """One chunk's residual stream through the C loop (access form)."""
+        lane = self._lane
+        lib = native.load_native()
+        n_res = len(res_idx)
+        bridge = native.LaneBridge(lane, n_res, want_frames=False)
+        cfg = native.make_config(
+            invalid_tag=INVALID,
+            kind_normal=_NORMAL,
+            kind_cold=_COLD,
+            kind_dead=_DEAD,
+        )
+        hit_out = np.zeros(n_res, dtype=np.uint8)
+        lib.repro_residual_access(
+            n_res,
+            native.ptr_i64(np.ascontiguousarray(res_idx)),
+            native.ptr_i64(np.ascontiguousarray(blocks[res_idx])),
+            native.ptr_i64(np.ascontiguousarray(sets[res_idx])),
+            native.ptr_i64(np.ascontiguousarray(catch)),
+            native.ptr_i64(times),
+            ctypes.byref(bridge.struct),
+            ctypes.byref(cfg),
+            self._seen_cb,
+            self._rng_cb,
+            native.ptr_u8(hit_out),
+        )
+        bridge.writeback()
+        hits[res_idx[hit_out.astype(bool)]] = True
+        keys, gaps, kinds, _ = bridge.records()
+        return (keys, gaps, kinds), bridge.counters()
 
     def finish(self, end_time: int) -> None:
         """Sync folded state and close the cache's generation timelines."""
@@ -514,12 +692,94 @@ def validated_chunks(trace: Iterable[TraceChunk]) -> Iterable[TraceChunk]:
         yield validate_chunk(chunk, index)
 
 
+def _assemble_chunk(
+    lane_i, lane_d, plans, counters, res_records_i, res_records_d,
+    i_observer, d_observer, ipos, dpos, iblocks, dblocks, dstores,
+    pcs, addrs, instructions, cpi_fp, stall_pos_arr, stall_tot_arr,
+    chunk_start_stalls, stage, perf,
+):
+    """Assembly stage of :func:`run_batched` for one chunk.
+
+    Reconstructs every access time, emits intervals in event order, rolls
+    the carries, and feeds the annotation observers.  Residual records may
+    be python lists (pure-python residual) or numpy arrays (compiled
+    residual); the two produce identical output.
+    """
+    t_start = perf()
+    for lane, pos, blocks, records, observer in (
+        (lane_i, ipos, iblocks, res_records_i, i_observer),
+        (lane_d, dpos, dblocks, res_records_d, d_observer),
+    ):
+        if len(blocks) == 0:
+            continue
+        (sets, order, ssets, sblocks, firsts, fast, pred, res_idx,
+         _, carry_frames) = plans[id(lane)]
+        if len(stall_pos_arr):
+            record_index = np.searchsorted(stall_pos_arr, pos, side="left")
+            stall_prefix = np.where(
+                record_index > 0,
+                stall_tot_arr[np.maximum(record_index - 1, 0)],
+                chunk_start_stalls,
+            )
+        else:
+            stall_prefix = chunk_start_stalls
+        t_ev = (((instructions + pos) * cpi_fp) >> CPI_FP_BITS) + stall_prefix
+        fast_idx = np.flatnonzero(fast)
+        if len(fast_idx):
+            fast_pred = pred[fast_idx]
+            prev_times = np.where(
+                fast_pred >= 0,
+                t_ev[np.maximum(fast_pred, 0)],
+                lane.set_last_time[sets[fast_idx]],
+            )
+            fast_gaps = t_ev[fast_idx] - prev_times
+            keep = fast_gaps > 0
+            fast_keys = pos[fast_idx[keep]]
+            fast_gaps = fast_gaps[keep]
+        else:
+            fast_keys = np.zeros(0, dtype=np.int64)
+            fast_gaps = np.zeros(0, dtype=np.int64)
+        keys_out, gaps_out, kinds_out, frames_out = records
+        _emit_intervals(
+            lane, fast_keys, fast_gaps,
+            np.asarray(keys_out, dtype=np.int64),
+            np.asarray(gaps_out, dtype=np.int64),
+            np.asarray(kinds_out, dtype=np.uint8),
+        )
+        hits, misses, compulsory, evictions = counters[id(lane)]
+        lane.flush_stats(
+            len(blocks), hits + int(fast.sum()), misses, compulsory, evictions
+        )
+        last_of_set = np.empty(len(blocks), dtype=bool)
+        last_of_set[-1] = True
+        np.not_equal(ssets[1:], ssets[:-1], out=last_of_set[:-1])
+        last_idx = order[last_of_set]
+        lane.set_last_block[ssets[last_of_set]] = sblocks[last_of_set]
+        lane.set_last_time[ssets[last_of_set]] = t_ev[last_idx]
+        lane.close_trailing_runs(sets, t_ev, last_idx[fast[last_idx]])
+        if observer is not None:
+            frames = _event_frames(
+                lane, len(blocks), order, ssets, firsts, fast,
+                np.asarray(frames_out, dtype=np.int64), carry_frames,
+            )
+            stage["assembly"] += perf() - t_start
+            t_start = perf()
+            if lane is lane_d:
+                observer(blocks, frames, t_ev, pcs[pos], addrs[pos], dstores)
+            else:
+                observer(blocks, frames, t_ev)
+            stage["annotate"] += perf() - t_start
+            t_start = perf()
+    stage["assembly"] += perf() - t_start
+
+
 def run_batched(
     hierarchy: MemoryHierarchy,
     clock: IssueClock,
     trace: Iterable[TraceChunk],
     i_observer: Optional[Callable] = None,
     d_observer: Optional[Callable] = None,
+    residual: Optional[str] = None,
 ) -> BatchedRunResult:
     """Drive a full hierarchy through the batched kernel.
 
@@ -550,6 +810,23 @@ def run_batched(
     memory_latency = hierarchy.config.l2.hit_latency + hierarchy.config.memory_latency
     l2_access = hierarchy.l2.access_block
     annotate = i_observer is not None or d_observer is not None
+
+    residual_impl = resolve_residual_impl(residual)
+    if residual_impl == "compiled":
+        native_lib = native.load_native()
+        native_miss_cb = native.make_miss_cb((lane_i, lane_d), l2_access)
+        native_rng_cb = native.make_rng_cb((lane_i, lane_d))
+        native_timing = {
+            "l1i_hit": l1i_hit,
+            "l1d_hit": l1d_hit,
+            "l2_hit": l2_hit,
+            "memory_latency": memory_latency,
+            "stall_on_miss": int(bool(stall_on_miss)),
+            "load_mlp": load_mlp,
+            "store_buffer": int(bool(store_buffer)),
+        }
+    else:
+        native_lib = None
 
     prev_igroup = -1
     instructions = 0  # instructions consumed before the current chunk
@@ -626,9 +903,46 @@ def run_batched(
         # stall rules, with the policy/tracker state folded per run.
         # ------------------------------------------------------------------
         t_start = perf()
+        chunk_start_stalls = stalls
+        if native_lib is not None:
+            if len(m_pos):
+                (
+                    stalls,
+                    stall_positions,
+                    stall_totals,
+                    res_records_i,
+                    res_records_d,
+                    counters_i,
+                    counters_d,
+                ) = _compiled_timed_chunk(
+                    native_lib, lane_i, lane_d, native_miss_cb, native_rng_cb,
+                    native_timing, stalls,
+                    m_pos, m_is_d, m_block, m_set, m_catch, m_base, m_cbase,
+                    m_store,
+                )
+            else:
+                stall_positions = stall_totals = np.zeros(0, dtype=np.int64)
+                res_records_i = res_records_d = (
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.uint8),
+                    np.zeros(0, dtype=np.int64),
+                )
+                counters_i = counters_d = [0, 0, 0, 0]
+            counters = {id(lane_i): counters_i, id(lane_d): counters_d}
+            stage["residual"] += perf() - t_start
+            _assemble_chunk(
+                lane_i, lane_d, plans, counters, res_records_i, res_records_d,
+                i_observer, d_observer, ipos, dpos, iblocks, dblocks, dstores,
+                pcs, addrs, instructions, cpi_fp,
+                np.asarray(stall_positions, dtype=np.int64),
+                np.asarray(stall_totals, dtype=np.int64),
+                chunk_start_stalls, stage, perf,
+            )
+            instructions += n
+            continue
         stall_positions: list = []  # chunk-local instruction positions
         stall_totals: list = []  # cumulative stalls after each record
-        chunk_start_stalls = stalls
         current_pos = -1
         stalls_at_pos = stalls
         res_records_i = ([], [], [], [])  # keys, gaps, kinds, frames
@@ -732,78 +1046,14 @@ def run_batched(
             lane.set_last_frame[set_index] = frame
         stage["residual"] += perf() - t_start
 
-        # ------------------------------------------------------------------
-        # Assembly: reconstruct every access time, emit intervals in event
-        # order, roll the carries, and feed the annotation observers.
-        # ------------------------------------------------------------------
-        t_start = perf()
-        stall_pos_arr = np.asarray(stall_positions, dtype=np.int64)
-        stall_tot_arr = np.asarray(stall_totals, dtype=np.int64)
-        for lane, pos, blocks, records, observer in (
-            (lane_i, ipos, iblocks, res_records_i, i_observer),
-            (lane_d, dpos, dblocks, res_records_d, d_observer),
-        ):
-            if len(blocks) == 0:
-                continue
-            (sets, order, ssets, sblocks, firsts, fast, pred, res_idx,
-             _, carry_frames) = plans[id(lane)]
-            if len(stall_pos_arr):
-                record_index = np.searchsorted(stall_pos_arr, pos, side="left")
-                stall_prefix = np.where(
-                    record_index > 0,
-                    stall_tot_arr[np.maximum(record_index - 1, 0)],
-                    chunk_start_stalls,
-                )
-            else:
-                stall_prefix = chunk_start_stalls
-            t_ev = (((instructions + pos) * cpi_fp) >> CPI_FP_BITS) + stall_prefix
-            fast_idx = np.flatnonzero(fast)
-            if len(fast_idx):
-                fast_pred = pred[fast_idx]
-                prev_times = np.where(
-                    fast_pred >= 0,
-                    t_ev[np.maximum(fast_pred, 0)],
-                    lane.set_last_time[sets[fast_idx]],
-                )
-                fast_gaps = t_ev[fast_idx] - prev_times
-                keep = fast_gaps > 0
-                fast_keys = pos[fast_idx[keep]]
-                fast_gaps = fast_gaps[keep]
-            else:
-                fast_keys = np.zeros(0, dtype=np.int64)
-                fast_gaps = np.zeros(0, dtype=np.int64)
-            keys_out, gaps_out, kinds_out, frames_out = records
-            _emit_intervals(
-                lane, fast_keys, fast_gaps,
-                np.asarray(keys_out, dtype=np.int64),
-                np.asarray(gaps_out, dtype=np.int64),
-                np.asarray(kinds_out, dtype=np.uint8),
-            )
-            hits, misses, compulsory, evictions = counters[id(lane)]
-            lane.flush_stats(
-                len(blocks), hits + int(fast.sum()), misses, compulsory, evictions
-            )
-            last_of_set = np.empty(len(blocks), dtype=bool)
-            last_of_set[-1] = True
-            np.not_equal(ssets[1:], ssets[:-1], out=last_of_set[:-1])
-            last_idx = order[last_of_set]
-            lane.set_last_block[ssets[last_of_set]] = sblocks[last_of_set]
-            lane.set_last_time[ssets[last_of_set]] = t_ev[last_idx]
-            lane.close_trailing_runs(sets, t_ev, last_idx[fast[last_idx]])
-            if observer is not None:
-                frames = _event_frames(
-                    lane, len(blocks), order, ssets, firsts, fast,
-                    np.asarray(frames_out, dtype=np.int64), carry_frames,
-                )
-                stage["assembly"] += perf() - t_start
-                t_start = perf()
-                if lane is lane_d:
-                    observer(blocks, frames, t_ev, pcs[pos], addrs[pos], dstores)
-                else:
-                    observer(blocks, frames, t_ev)
-                stage["annotate"] += perf() - t_start
-                t_start = perf()
-        stage["assembly"] += perf() - t_start
+        _assemble_chunk(
+            lane_i, lane_d, plans, counters, res_records_i, res_records_d,
+            i_observer, d_observer, ipos, dpos, iblocks, dblocks, dstores,
+            pcs, addrs, instructions, cpi_fp,
+            np.asarray(stall_positions, dtype=np.int64),
+            np.asarray(stall_totals, dtype=np.int64),
+            chunk_start_stalls, stage, perf,
+        )
         instructions += n
 
     # Close the run: sync the clock and the trackers, then finish.
@@ -821,6 +1071,7 @@ def run_batched(
         fast_path_accesses=lane_i.fast_accesses + lane_d.fast_accesses,
         slow_path_accesses=lane_i.slow_accesses + lane_d.slow_accesses,
         stage_seconds=dict(stage),
+        residual_impl=residual_impl,
     )
     return BatchedRunResult(
         cycles=end_time,

@@ -24,6 +24,7 @@ from ..cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..cache.kernel import (
     SimulationProfile,
     kernel_supported,
+    resolve_kernel_mode,
     run_batched,
     validated_chunks,
 )
@@ -73,14 +74,16 @@ class TraceSimulator:
         self,
         hierarchy: Optional[MemoryHierarchy] = None,
         pipeline: Optional[PipelineConfig] = None,
-        kernel: Optional[bool] = None,
+        kernel: Optional[bool | str] = None,
     ) -> None:
         self.hierarchy = (
             hierarchy if hierarchy is not None else MemoryHierarchy(HierarchyConfig.paper())
         )
         self.clock = IssueClock(pipeline)
-        #: None = auto (batched when supported); True forces the kernel
-        #: (raising if unsupported); False forces the scalar oracle.
+        #: None = auto (``REPRO_KERNEL`` or best available when the
+        #: hierarchy supports the kernel); ``"scalar"``/``"batched"``/
+        #: ``"compiled"`` select explicitly (raising if the hierarchy is
+        #: unsupported); legacy bools mean batched (True) / scalar (False).
         self.kernel = kernel
         self._ran = False
 
@@ -98,16 +101,23 @@ class TraceSimulator:
         if isinstance(trace, TraceChunk):
             trace = (trace,)
 
-        use_kernel = self.kernel
-        if use_kernel is None:
-            use_kernel = kernel_supported(self.hierarchy)
-        if use_kernel:
-            return self._run_batched(trace)
-        return self._run_scalar(trace)
+        mode = resolve_kernel_mode(self.kernel)
+        if mode == "scalar":
+            return self._run_scalar(trace)
+        if self.kernel is None and not kernel_supported(self.hierarchy):
+            # Auto-selection falls back to the scalar oracle for exotic
+            # hierarchies; an explicit request lets run_batched raise.
+            return self._run_scalar(trace)
+        return self._run_batched(trace, mode)
 
-    def _run_batched(self, trace: Iterable[TraceChunk]) -> SimulationResult:
+    def _run_batched(
+        self, trace: Iterable[TraceChunk], mode: str = "batched"
+    ) -> SimulationResult:
         hierarchy = self.hierarchy
-        outcome = run_batched(hierarchy, self.clock, trace)
+        outcome = run_batched(
+            hierarchy, self.clock, trace,
+            residual="compiled" if mode == "compiled" else "python",
+        )
         return SimulationResult(
             cycles=outcome.cycles,
             instructions=outcome.instructions,
@@ -172,6 +182,7 @@ class TraceSimulator:
             fast_path_accesses=0,
             slow_path_accesses=accesses,
             stage_seconds={"scalar": _time.perf_counter() - started},
+            residual_impl="scalar",
         )
         return SimulationResult(
             cycles=end_time,
@@ -188,7 +199,7 @@ def simulate_trace(
     trace: Iterable[TraceChunk] | TraceChunk,
     hierarchy: Optional[MemoryHierarchy] = None,
     pipeline: Optional[PipelineConfig] = None,
-    kernel: Optional[bool] = None,
+    kernel: Optional[bool | str] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`TraceSimulator`.
 

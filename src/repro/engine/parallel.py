@@ -36,7 +36,9 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cache.kernel import resolve_kernel_mode
 from ..errors import EngineError
+from . import transport
 from .backends import build_chain, default_watchdog, resolve_backend_name
 from .checkpoint import RunJournal
 from .faults import FaultPlan, active_plan, apply_store_fault
@@ -126,6 +128,9 @@ class ExecutionEngine:
                 f"resuming run {journal.run_id!r}: "
                 f"{len(self._journaled)} job(s) already journaled"
             )
+        self.transport = transport.resolve_transport_mode()
+        self.kernel_mode = resolve_kernel_mode()
+        self._traces_published = 0
         self.telemetry.context.update(
             {
                 "max_workers": self.max_workers,
@@ -137,6 +142,26 @@ class ExecutionEngine:
                 "faults": None if self.faults is None else self.faults.describe(),
                 "run_id": None if journal is None else journal.run_id,
                 "resumed": bool(journal is not None and resume),
+                "kernel_mode": self.kernel_mode,
+                "transport": self.transport,
+            }
+        )
+        from ..cache.kernel import resolve_residual_impl
+
+        self.telemetry.record_substrate(
+            {
+                "kernel_mode": self.kernel_mode,
+                "residual_impl": (
+                    "scalar"
+                    if self.kernel_mode == "scalar"
+                    else resolve_residual_impl(
+                        "compiled"
+                        if self.kernel_mode == "compiled"
+                        else "python"
+                    )
+                ),
+                "transport": self.transport,
+                "traces_published": 0,
             }
         )
 
@@ -233,7 +258,25 @@ class ExecutionEngine:
             self.telemetry.emit(
                 "job-started", job=job.describe(), key=job.key()
             )
-        dispatch = self.supervisor.dispatch(pending)
+        # Publish recorded traces into zero-copy arenas for the worker
+        # backends; the parent owns the segments and unlinks them when
+        # the dispatch completes, however workers fared.
+        published: List[str] = []
+        if self.supervisor.chain:
+            published = transport.publish_for_jobs(pending, self.transport)
+            for path in published:
+                self.telemetry.emit(
+                    "trace-published", path=path, transport=self.transport
+                )
+            if published:
+                self._traces_published += len(published)
+                self.telemetry.record_substrate(
+                    {"traces_published": self._traces_published}
+                )
+        try:
+            dispatch = self.supervisor.dispatch(pending)
+        finally:
+            transport.release_paths(published)
         for note in dispatch.notes:
             self.telemetry.note(note)
         for entry in dispatch.retries:

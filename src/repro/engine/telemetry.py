@@ -46,8 +46,12 @@ from .jobs import SOURCE_CACHED, JobOutcome
 #: ``coordination`` section (the ``CoordinationProfile`` of a
 #: multi-daemon fleet: peer id, lease acquire/reclaim/fence counters,
 #: guarded-publish outcomes, remote-coalescing and GC totals — empty
-#: outside a coordinating daemon).
-MANIFEST_VERSION = 7
+#: outside a coordinating daemon); version 8 added the ``substrate``
+#: section (the run's resolved kernel mode, residual implementation,
+#: trace transport mode and published-arena totals) plus per-job
+#: ``residual_impl`` (which residual-loop implementation — ``python``,
+#: ``compiled`` or ``scalar`` — produced the result).
+MANIFEST_VERSION = 8
 
 
 class Stopwatch:
@@ -81,6 +85,9 @@ class JobRecord:
     #: Simulation-kernel profile ("batched"/"scalar"; empty for results
     #: cached before profiles existed).
     kernel_mode: str = ""
+    #: Residual-loop implementation ("python"/"compiled"/"scalar"; empty
+    #: for results cached before manifest v8).
+    residual_impl: str = ""
     fast_path_accesses: int = 0
     slow_path_accesses: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
@@ -120,6 +127,10 @@ class RunTelemetry:
     #: The ``CoordinationProfile`` of a multi-daemon fleet (manifest
     #: v7); empty outside a coordinating daemon.
     coordination: Dict = field(default_factory=dict)
+    #: The run's simulation substrate (manifest v8): resolved kernel
+    #: mode, residual implementation, trace transport mode and
+    #: published-arena totals.
+    substrate: Dict = field(default_factory=dict)
     #: Live event observers (not part of the manifest).
     observers: List[Callable] = field(default_factory=list, repr=False)
     #: Guards the record lists when several engine slots of one fleet
@@ -176,6 +187,9 @@ class RunTelemetry:
             cycles=int(result.cycles),
             attempts=outcome.attempts,
             kernel_mode=profile.mode if profile else "",
+            residual_impl=(
+                getattr(profile, "residual_impl", "") if profile else ""
+            ),
             fast_path_accesses=(
                 int(profile.fast_path_accesses) if profile else 0
             ),
@@ -253,6 +267,17 @@ class RunTelemetry:
         an empty section.
         """
         self.coordination = dict(profile)
+
+    def record_substrate(self, profile: Dict) -> None:
+        """Merge substrate facts (kernel + transport) into the manifest.
+
+        The engine records its resolved kernel/transport selection at
+        construction and updates the published-arena totals as
+        dispatches publish traces, so the call merges rather than
+        replaces.
+        """
+        with self._lock:
+            self.substrate.update(profile)
 
     def note(self, message: str) -> None:
         """Attach a free-form robustness note (pool fallbacks, evictions)."""
@@ -403,6 +428,7 @@ class RunTelemetry:
                     "attempts": r.attempts,
                     "instructions_per_second": r.instructions_per_second,
                     "kernel_mode": r.kernel_mode,
+                    "residual_impl": r.residual_impl,
                     "fast_path_accesses": r.fast_path_accesses,
                     "slow_path_accesses": r.slow_path_accesses,
                     "fast_path_share": r.fast_path_share,
@@ -420,6 +446,7 @@ class RunTelemetry:
             "store": dict(self.store_stats),
             "service": dict(self.service),
             "coordination": dict(self.coordination),
+            "substrate": dict(self.substrate),
         }
 
     def write_manifest(self, path) -> str:

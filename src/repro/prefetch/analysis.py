@@ -32,6 +32,7 @@ from ..cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..cache.kernel import (
     SimulationProfile,
     kernel_supported,
+    resolve_kernel_mode,
     run_batched,
     validated_chunks,
 )
@@ -206,7 +207,11 @@ class AnnotatingSimulator:
         d_annotator = _CacheAnnotator(
             self.hierarchy.l1d.config.n_lines, self.active_floor
         )
-        if kernel_supported(self.hierarchy):
+        # REPRO_KERNEL selects the path; auto prefers the batched kernel
+        # (with its best available residual loop) when the hierarchy
+        # supports it and the scalar loop otherwise.
+        mode = resolve_kernel_mode()
+        if mode != "scalar" and kernel_supported(self.hierarchy):
             return self._run_batched(trace, i_annotator, d_annotator)
         return self._run_scalar(trace, i_annotator, d_annotator)
 
@@ -340,6 +345,7 @@ class AnnotatingSimulator:
                 fast_path_accesses=0,
                 slow_path_accesses=accesses,
                 stage_seconds={"scalar": _time.perf_counter() - started},
+                residual_impl="scalar",
             ),
         )
         return AnnotatedSimulationResult(

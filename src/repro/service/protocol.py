@@ -166,14 +166,23 @@ def cache_info_payload(store) -> Dict:
     daemon embeds under ``/v1/status``'s ``"cache"`` key.
     """
     info = store.info()
+    # One nested object for trace artifacts, shared verbatim by both
+    # surfaces (the CLI document and /v1/status's "cache" key); the flat
+    # trace_files/trace_bytes keys are kept for older consumers and must
+    # stay equal to the nested ones (the parity test audits this).
+    traces = {
+        "files": int(info.get("trace_files", 0)),
+        "bytes": int(info.get("trace_bytes", 0)),
+    }
     return {
         "directory": info["directory"],
         "entries": int(info["entries"]),
         "bytes": int(info["bytes"]),
         "max_bytes": info["max_bytes"],
         "quarantined": int(info.get("quarantined", 0)),
-        "trace_files": int(info.get("trace_files", 0)),
-        "trace_bytes": int(info.get("trace_bytes", 0)),
+        "trace_files": traces["files"],
+        "trace_bytes": traces["bytes"],
+        "traces": traces,
         "sharing": collect_sharing_stats(store.directory),
     }
 

@@ -303,9 +303,16 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 7
+        assert manifest["manifest_version"] == 8
         assert manifest["service"] == {}
         assert manifest["coordination"] == {}
+        substrate = manifest["substrate"]
+        assert substrate["kernel_mode"] in ("scalar", "batched", "compiled")
+        assert substrate["residual_impl"] in ("python", "compiled", "scalar")
+        assert substrate["transport"] in ("pickle", "shm", "disk")
+        assert substrate["traces_published"] == 0  # synthetic workloads
+        for row in manifest["jobs"]:
+            assert row["residual_impl"] in ("", "python", "compiled", "scalar")
         assert manifest["retries"] == []
         assert manifest["faults"] == []
         assert manifest["quarantine"] == []

@@ -125,6 +125,70 @@ class TestSimulatorEquivalence:
         assert scalar.profile.mode == "scalar"
 
 
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("associativity", ASSOCIATIVITIES)
+class TestCompiledResidualKernel:
+    """The compiled residual loop must be bit-identical to the scalar oracle.
+
+    When no C compiler is available the ``compiled`` request silently
+    degrades to the pure-python residual loop, so this matrix passes —
+    with identical numbers — on compiler-less hosts too.
+    """
+
+    def test_matches_scalar_access_path(self, rng, policy, associativity):
+        blocks, times = _random_stream(rng, 4000, 96)
+        end_time = int(times[-1]) + 1
+
+        scalar = SetAssociativeCache(_small_config(associativity), policy)
+        scalar_hits = np.array(
+            [scalar.access_block(int(b), int(t)) for b, t in zip(blocks, times)]
+        )
+        scalar.finish(end_time)
+
+        compiled_cache = SetAssociativeCache(_small_config(associativity), policy)
+        kernel = BatchedCacheKernel(compiled_cache, residual="compiled")
+        hits = []
+        for lo in range(0, len(blocks), 1024):
+            hits.append(
+                kernel.access_blocks(blocks[lo:lo + 1024], times[lo:lo + 1024])
+            )
+        kernel.finish(end_time)
+
+        assert np.array_equal(scalar_hits, np.concatenate(hits))
+        assert compiled_cache.stats == scalar.stats
+        assert compiled_cache.intervals() == scalar.intervals()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestResidualImplMatrix:
+    """scalar / python-batched / compiled full-simulation equivalence."""
+
+    def test_three_way_bit_identical(self, policy):
+        from repro.cache import native
+
+        def run(kernel):
+            return simulate_trace(
+                make_benchmark("gzip", scale=0.02).chunks(),
+                MemoryHierarchy(HierarchyConfig.paper(), replacement=policy),
+                kernel=kernel,
+            )
+
+        scalar = run("scalar")
+        batched = run("batched")
+        compiled = run("compiled")
+        assert scalar == batched
+        assert scalar == compiled
+        assert scalar.l1i_intervals == compiled.l1i_intervals
+        assert scalar.l1d_intervals == compiled.l1d_intervals
+        # The profile reports which residual implementation actually ran.
+        assert scalar.profile.residual_impl == "scalar"
+        assert batched.profile.mode == "batched"
+        assert batched.profile.residual_impl == "python"
+        assert compiled.profile.mode == "batched"
+        expected = "compiled" if native.native_available() else "python"
+        assert compiled.profile.residual_impl == expected
+
+
 class TestAnnotationEquivalence:
     def test_flags_identical_across_paths(self):
         def run(batched):

@@ -619,7 +619,7 @@ class TestDrainAndResume:
         asyncio.run(daemon.stop())
         manifest_path = tmp_path / "cache" / "service" / "manifest.json"
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        assert manifest["manifest_version"] == 7
+        assert manifest["manifest_version"] == 8
         assert manifest["coordination"]["peer_id"] == daemon.peer_id
         assert manifest["service"]["tickets"]["queued"] == 1
         assert manifest["service"]["draining"] is True
@@ -649,6 +649,11 @@ class TestServiceCli:
             "sharing",
             "trace_bytes",
             "trace_files",
+            "traces",
+        }
+        assert document["traces"] == {
+            "files": document["trace_files"],
+            "bytes": document["trace_bytes"],
         }
         assert main(["cache", "info", "--json"]) == 0
         assert capsys.readouterr().out == first

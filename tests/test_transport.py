@@ -1,0 +1,273 @@
+"""Zero-copy trace transport and the mmap trace-reader path.
+
+The transport layer (:mod:`repro.engine.transport`) is *advisory*: every
+test here asserts two things at once — that the fast path (shared-memory
+or on-disk arenas, mmap chunk views) produces bit-identical chunks to
+the buffered reader, and that every failure mode falls back to the
+reader instead of surfacing.  The lifecycle tests pin the ownership
+rule: the publishing parent unlinks segments when a dispatch completes,
+so a worker killed mid-chunk can never leak one.
+"""
+
+import json
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import merge_chunks
+from repro.engine import transport
+from repro.engine.jobs import SimulationJob
+from repro.engine.parallel import ExecutionEngine
+from repro.engine.retry import RetryPolicy
+from repro.engine.store import NullStore
+from repro.errors import ConfigurationError, EngineError
+from repro.traces.format import TraceRecording, record_benchmark
+
+SMALL = 0.03
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """A codec-none gzip trace recorded once for the module (read-only)."""
+    path = tmp_path_factory.mktemp("transport") / "gzip.rtr"
+    record_benchmark("gzip", path, scale=SMALL, chunk_instructions=20_000,
+                     codec="none")
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_chunks(recorded):
+    return list(TraceRecording(recorded).chunks())
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    transport.REGISTRY.reset()
+    yield
+    transport.REGISTRY.reset()
+
+
+def assert_chunks_equal(actual, expected):
+    __tracebackhide__ = True
+    assert [len(c) for c in actual] == [len(c) for c in expected]
+    a, b = merge_chunks(actual), merge_chunks(expected)
+    assert np.array_equal(a.pcs, b.pcs)
+    assert np.array_equal(a.data_addresses, b.data_addresses)
+    assert np.array_equal(a.data_kinds, b.data_kinds)
+
+
+class TestModeResolution:
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv(transport.ENV_TRANSPORT, "disk")
+        assert transport.resolve_transport_mode() == "disk"
+
+    def test_auto_prefers_shm(self, monkeypatch):
+        monkeypatch.delenv(transport.ENV_TRANSPORT, raising=False)
+        assert transport.resolve_transport_mode() in ("shm", "disk")
+
+    def test_unknown_mode_names_the_variable(self):
+        with pytest.raises(EngineError, match="REPRO_TRANSPORT"):
+            transport.resolve_transport_mode("carrier-pigeon")
+
+
+@pytest.mark.parametrize("mode", ("shm", "disk"))
+class TestArenaRoundTrip:
+    def test_overlay_matches_reader_and_boundaries(
+        self, recorded, reference_chunks, mode
+    ):
+        arena = transport.REGISTRY.acquire(str(recorded), mode)
+        assert arena is not None and arena.mode == mode
+        try:
+            overlay = transport.overlay_chunks(str(recorded))
+            assert overlay is not None
+            assert_chunks_equal(list(overlay), reference_chunks)
+        finally:
+            transport.REGISTRY.release(str(recorded))
+
+    def test_window_slicing_matches_window_chunks(self, recorded, mode):
+        transport.REGISTRY.acquire(str(recorded), mode)
+        try:
+            expected = list(TraceRecording(recorded).window_chunks(1, 7_500))
+            overlay = transport.overlay_chunks(str(recorded), 1, 7_500)
+            assert_chunks_equal(list(overlay), expected)
+        finally:
+            transport.REGISTRY.release(str(recorded))
+
+    def test_window_beyond_end_raises_like_reader(self, recorded, mode):
+        transport.REGISTRY.acquire(str(recorded), mode)
+        try:
+            with pytest.raises(ConfigurationError, match="window"):
+                list(transport.overlay_chunks(str(recorded), 999, 100_000))
+        finally:
+            transport.REGISTRY.release(str(recorded))
+
+    def test_release_reclaims_segment(self, recorded, mode):
+        arena = transport.REGISTRY.acquire(str(recorded), mode)
+        segment, handle = arena.segment, arena.handle_path
+        transport.REGISTRY.release(str(recorded))
+        assert transport.REGISTRY.active_segments() == []
+        assert not handle.exists()
+        if mode == "disk":
+            assert not os.path.exists(segment)
+        else:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment, create=False)
+
+    def test_refcounted_across_concurrent_publishers(self, recorded, mode):
+        first = transport.REGISTRY.acquire(str(recorded), mode)
+        second = transport.REGISTRY.acquire(str(recorded), mode)
+        assert second is first  # published once, shared
+        transport.REGISTRY.release(str(recorded))
+        assert transport.REGISTRY.active_segments() == [first.segment]
+        transport.REGISTRY.release(str(recorded))
+        assert transport.REGISTRY.active_segments() == []
+
+    def test_views_survive_parent_unlink(self, recorded, reference_chunks,
+                                         mode):
+        # A worker mid-chunk when the parent reclaims the arena must be
+        # able to finish its read: unlinking removes the name, not the
+        # attached mapping.
+        transport.REGISTRY.acquire(str(recorded), mode)
+        chunks = list(transport.overlay_chunks(str(recorded)))
+        transport.REGISTRY.release(str(recorded))
+        assert_chunks_equal(chunks, reference_chunks)
+
+
+class TestWorkerFallback:
+    def test_no_manifest_dir_falls_back(self, recorded, monkeypatch):
+        monkeypatch.delenv(transport.ENV_TRANSPORT_DIR, raising=False)
+        assert transport.overlay_chunks(str(recorded)) is None
+
+    def test_missing_handle_falls_back(self, recorded, monkeypatch,
+                                       tmp_path):
+        monkeypatch.setenv(transport.ENV_TRANSPORT_DIR, str(tmp_path))
+        assert transport.overlay_chunks(str(recorded)) is None
+
+    def test_corrupt_handle_falls_back(self, recorded, monkeypatch,
+                                       tmp_path):
+        monkeypatch.setenv(transport.ENV_TRANSPORT_DIR, str(tmp_path))
+        handle = tmp_path / transport.handle_name(str(recorded))
+        handle.write_text("{not json")
+        assert transport.overlay_chunks(str(recorded)) is None
+
+    def test_vanished_segment_falls_back_with_warning(
+        self, recorded, monkeypatch, tmp_path, caplog
+    ):
+        monkeypatch.setenv(transport.ENV_TRANSPORT_DIR, str(tmp_path))
+        handle = tmp_path / transport.handle_name(str(recorded))
+        handle.write_text(json.dumps({
+            "version": transport.HANDLE_VERSION,
+            "mode": "shm",
+            "trace_path": str(recorded),
+            "segment": "psm_repro_gone",
+            "instructions": 10,
+            "chunk_offsets": [0],
+        }))
+        with caplog.at_level(logging.WARNING, logger="repro.engine.transport"):
+            assert transport.overlay_chunks(str(recorded)) is None
+        assert any("streaming from disk" in r.message for r in caplog.records)
+
+    def test_publish_failure_is_advisory(self, tmp_path, caplog):
+        missing = tmp_path / "nothing.rtr"
+        with caplog.at_level(logging.WARNING, logger="repro.engine.transport"):
+            assert transport.REGISTRY.acquire(str(missing), "shm") is None
+        assert transport.REGISTRY.active_segments() == []
+        assert any("publishing" in r.message for r in caplog.records)
+
+
+class TestMmapReader:
+    def test_codec_none_chunks_match_gzip_codec(self, recorded, tmp_path,
+                                                reference_chunks):
+        gz = tmp_path / "gzip.rtr"
+        record_benchmark("gzip", gz, scale=SMALL, chunk_instructions=20_000,
+                         codec="gzip")
+        assert_chunks_equal(
+            reference_chunks, list(TraceRecording(gz).chunks())
+        )
+
+    def test_chunks_are_zero_copy_views(self, reference_chunks):
+        # Strided views into the record array, not materialized copies:
+        # the element stride equals the 17-byte on-disk record size.
+        assert reference_chunks[0].pcs.strides == (17,)
+
+    def test_mmap_failure_falls_back_identically(self, recorded, monkeypatch,
+                                                 reference_chunks, caplog):
+        from repro.traces import format as fmt
+
+        def refuse(*args, **kwargs):
+            raise OSError("mmap disabled for the test")
+
+        monkeypatch.setattr(fmt.mmap, "mmap", refuse)
+        monkeypatch.setattr(fmt, "_MMAP_WARNED", False)
+        with caplog.at_level(logging.WARNING, logger="repro.traces.format"):
+            first = list(TraceRecording(recorded).chunks())
+            second = list(TraceRecording(recorded).chunks())
+        assert_chunks_equal(first, reference_chunks)
+        assert_chunks_equal(second, reference_chunks)
+        # Logged once per process, not once per read.
+        warnings = [r for r in caplog.records if "falling back" in r.message]
+        assert len(warnings) == 1
+
+
+class TestEngineEndToEnd:
+    def reference(self, ref):
+        os.environ[transport.ENV_TRANSPORT] = "pickle"
+        try:
+            engine = ExecutionEngine(jobs=1, backend="serial",
+                                     store=NullStore())
+            return engine.run_one(SimulationJob(ref)).annotated.result
+        finally:
+            os.environ.pop(transport.ENV_TRANSPORT, None)
+
+    @pytest.mark.parametrize("mode", ("pickle", "shm", "disk"))
+    def test_pool_results_identical_across_transports(
+        self, recorded, monkeypatch, mode
+    ):
+        ref = f"trace:{recorded}"
+        expected = self.reference(ref)
+        monkeypatch.setenv(transport.ENV_TRANSPORT, mode)
+        engine = ExecutionEngine(jobs=2, backend="pool", store=NullStore())
+        outcome = engine.run_one(SimulationJob(ref))
+        assert outcome.annotated.result == expected
+        assert transport.REGISTRY.active_segments() == []
+        assert engine.telemetry.context["transport"] == mode
+        substrate = engine.telemetry.manifest()["substrate"]
+        assert substrate["transport"] == mode
+        assert substrate["traces_published"] == (0 if mode == "pickle" else 1)
+
+    def test_killed_pool_worker_leaks_nothing_and_job_completes(
+        self, recorded, monkeypatch
+    ):
+        # kill -9 semantics: the worker os._exit()s mid-job on the first
+        # attempt, after the parent published the arena.  The supervisor
+        # requeues onto the next backend; the parent — sole owner of the
+        # segment — still unlinks it when the dispatch settles.
+        ref = f"trace:{recorded}"
+        expected = self.reference(ref)
+        monkeypatch.setenv(transport.ENV_TRANSPORT, "shm")
+        monkeypatch.setenv("REPRO_FAULTS", "crash:*@*:attempt=1")
+        engine = ExecutionEngine(
+            jobs=2, backend="pool", store=NullStore(), retry=FAST_RETRY
+        )
+        outcome = engine.run_one(SimulationJob(ref))
+        # The pool could not have finished it — the job was requeued to
+        # a later backend (or the terminal serial path) and completed.
+        assert outcome.source != "parallel"
+        assert outcome.annotated.result == expected
+        assert transport.REGISTRY.active_segments() == []
+
+    def test_subprocess_workers_inherit_transport(self, recorded,
+                                                  monkeypatch):
+        ref = f"trace:{recorded}"
+        expected = self.reference(ref)
+        monkeypatch.setenv(transport.ENV_TRANSPORT, "shm")
+        engine = ExecutionEngine(jobs=2, backend="subprocess",
+                                 store=NullStore())
+        outcome = engine.run_one(SimulationJob(ref))
+        assert outcome.annotated.result == expected
+        assert transport.REGISTRY.active_segments() == []
