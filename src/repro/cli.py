@@ -21,8 +21,11 @@ The historical flat forms keep working — a bare experiment name implies
 
 Simulations go through the execution engine: benchmark jobs fan out over
 worker processes (``--jobs`` / ``REPRO_JOBS``) on a supervised backend
-(``--backend`` / ``REPRO_BACKEND``: ``pool`` degrades to ``subprocess``
-workers and then ``serial``, so a run always completes), failed or
+(``--backend`` / ``REPRO_BACKEND``: ``remote`` workers on peer hosts
+(``--hosts`` / ``REPRO_HOSTS``, connect/result deadlines via
+``REPRO_REMOTE_CONNECT_TIMEOUT`` / ``REPRO_REMOTE_DEADLINE``) degrade to
+the local ``pool``, which degrades to ``subprocess`` workers and then
+``serial``, so a run always completes), failed or
 timed-out jobs are retried per job with deterministic backoff
 (``REPRO_RETRIES`` / ``REPRO_RETRY_DELAY``), every fresh result passes
 an invariant-validation gate before caching, results are cached on disk
@@ -207,8 +210,16 @@ def _add_run_parser(commands) -> None:
         choices=BACKEND_NAMES,
         default=None,
         help="primary execution backend (default: REPRO_BACKEND or 'pool'); "
-        "pool degrades to subprocess workers and then serial, so a run "
-        "always completes",
+        "remote degrades to pool, pool to subprocess workers and then "
+        "serial, so a run always completes",
+    )
+    run.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOSTS",
+        help="comma-separated remote hosts for --backend remote "
+        "(default: REPRO_HOSTS): 'exec[:label]' loopback fakes or "
+        "'[ssh:][user@]host[:dir]' SSH peers",
     )
     run.add_argument(
         "--kernel",
@@ -371,6 +382,11 @@ def _add_sweep_parser(commands) -> None:
         help="primary execution backend for this shard "
         "(default: REPRO_BACKEND or 'pool')",
     )
+    run.add_argument(
+        "--hosts", default=None, metavar="HOSTS",
+        help="comma-separated remote hosts for --backend remote "
+        "(default: REPRO_HOSTS)",
+    )
     run.set_defaults(handler=sweep_run_command)
 
     status = verbs.add_parser(
@@ -397,6 +413,11 @@ def _add_sweep_parser(commands) -> None:
     merge.add_argument(
         "--backend", choices=BACKEND_NAMES, default=None,
         help="primary execution backend for any remaining simulations",
+    )
+    merge.add_argument(
+        "--hosts", default=None, metavar="HOSTS",
+        help="comma-separated remote hosts for --backend remote "
+        "(default: REPRO_HOSTS)",
     )
     merge.add_argument(
         "--output", default=None, metavar="FILE",
@@ -1079,6 +1100,7 @@ def run_command(args) -> int:
             journal=journal,
             resume=args.resume is not None,
             backend=args.backend,
+            hosts=args.hosts,
         )
         suite = SuiteRunner(scale=args.scale, benchmarks=benchmarks, engine=engine)
         if args.experiment == "all":
@@ -1165,7 +1187,13 @@ def sweep_run_command(args) -> int:
     try:
         spec = _spec_from_args(args)
         assignment = ShardAssignment(args.shard_index, args.shard_count)
-        run = run_shard(spec, assignment, jobs=args.jobs, backend=args.backend)
+        run = run_shard(
+            spec,
+            assignment,
+            jobs=args.jobs,
+            backend=args.backend,
+            hosts=args.hosts,
+        )
     except ReproError as error:
         return _fail(str(error))
     for line in shard_run_summary(run):
@@ -1196,7 +1224,9 @@ def sweep_status_command(args) -> int:
 def sweep_merge_command(args) -> int:
     try:
         spec = _spec_from_args(args)
-        outcome = sweep_merge(spec, jobs=args.jobs, backend=args.backend)
+        outcome = sweep_merge(
+            spec, jobs=args.jobs, backend=args.backend, hosts=args.hosts
+        )
     except ReproError as error:
         return _fail(str(error))
     print(outcome.report)

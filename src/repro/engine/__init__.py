@@ -5,8 +5,10 @@ name deterministic simulation points; :class:`ExecutionEngine`
 (:mod:`~repro.engine.parallel`) resolves them through a content-addressed
 on-disk cache (:mod:`~repro.engine.store`) and a supervised backend
 chain (:mod:`~repro.engine.backends`,
-:mod:`~repro.engine.supervise`): the worker-process pool, then
-heartbeat-watched subprocess workers, then in-process serial execution,
+:mod:`~repro.engine.supervise`): optionally remote hosts over SSH or a
+loopback exec transport (:mod:`~repro.engine.remote`), then the
+worker-process pool, then heartbeat-watched subprocess workers, then
+in-process serial execution,
 with per-job retry (:mod:`~repro.engine.retry`), per-backend circuit
 breakers, an invariant-validation gate on every fresh result
 (:mod:`~repro.engine.validate`), crash-safe run checkpoints
@@ -63,6 +65,8 @@ from .jobs import (
     SOURCE_CACHED,
     SOURCE_FALLBACK,
     SOURCE_PARALLEL,
+    SOURCE_REMOTE,
+    SOURCE_REMOTE_FALLBACK,
     SOURCE_SERIAL,
     SOURCE_SUBPROCESS,
     SOURCE_SUBPROCESS_FALLBACK,
@@ -75,6 +79,17 @@ from .parallel import (
     EngineFleet,
     ExecutionEngine,
     resolve_worker_count,
+)
+from .remote import (
+    ENV_HOSTS,
+    ENV_REMOTE_CONNECT_TIMEOUT,
+    ENV_REMOTE_DEADLINE,
+    ENV_REMOTE_FETCH,
+    HostSpec,
+    RemoteBackend,
+    default_connect_timeout,
+    default_remote_deadline,
+    parse_hosts,
 )
 from .retry import (
     ENV_RETRIES,
@@ -101,6 +116,7 @@ from .supervise import (
     ENV_BREAKER_COOLDOWN,
     ENV_BREAKER_THRESHOLD,
     CircuitBreaker,
+    FlapCounter,
     Supervisor,
     default_breaker_cooldown,
     default_breaker_threshold,
@@ -121,8 +137,12 @@ __all__ = [
     "ENV_CACHE_MAX_MB",
     "ENV_FAULTS",
     "ENV_HEARTBEAT",
+    "ENV_HOSTS",
     "ENV_JOBS",
     "ENV_JOB_TIMEOUT",
+    "ENV_REMOTE_CONNECT_TIMEOUT",
+    "ENV_REMOTE_DEADLINE",
+    "ENV_REMOTE_FETCH",
     "ENV_RETRIES",
     "ENV_RETRY_DELAY",
     "ENV_WATCHDOG",
@@ -131,6 +151,8 @@ __all__ = [
     "FLAP_EXIT_CODE",
     "FaultPlan",
     "FaultSpec",
+    "FlapCounter",
+    "HostSpec",
     "InjectedFault",
     "InvalidResultError",
     "JobOutcome",
@@ -139,6 +161,7 @@ __all__ = [
     "NullStore",
     "PoolBackend",
     "PoolReport",
+    "RemoteBackend",
     "ResultStore",
     "RUNS_SUBDIR",
     "RunJournal",
@@ -148,6 +171,8 @@ __all__ = [
     "SOURCE_CACHED",
     "SOURCE_FALLBACK",
     "SOURCE_PARALLEL",
+    "SOURCE_REMOTE",
+    "SOURCE_REMOTE_FALLBACK",
     "SOURCE_SERIAL",
     "SOURCE_SUBPROCESS",
     "SOURCE_SUBPROCESS_FALLBACK",
@@ -166,14 +191,17 @@ __all__ = [
     "collect_sharing_stats",
     "default_breaker_cooldown",
     "default_breaker_threshold",
+    "default_connect_timeout",
     "default_heartbeat_interval",
     "default_job_timeout",
+    "default_remote_deadline",
     "default_retry_policy",
     "default_watchdog",
     "execute_job",
     "iter_run_manifests",
     "merge_breaker_snapshots",
     "parse_fault_plan",
+    "parse_hosts",
     "resolve_backend_name",
     "resolve_cache_dir",
     "resolve_cache_limit",

@@ -19,9 +19,18 @@ degrades gracefully instead of failing:
     worker *independently of any job timeout*, kills exactly that
     process, requeues its job through the retry backoff, and respawns a
     replacement.  The stepping stone to remote workers.
+``remote``
+    the same frame protocol shipped to peer hosts
+    (:mod:`~repro.engine.remote`): SSH or loopback ``exec`` transports,
+    per-host circuit breakers and heartbeat watchdogs, digest-verified
+    trace fetch.  Degrades through ``pool`` then ``subprocess``.
 ``serial``
     no chain at all — the engine's in-process executor runs every job.
-    Always available, and always the terminal fallback of the other two.
+    Always available, and always the terminal fallback of the others.
+
+Run with ``python -m repro.engine.backends --worker`` on a remote host
+(or from the loopback ``exec`` transport) to enter the remote worker
+loop; see :func:`repro.engine.remote.worker_main`.
 
 Every backend runs the same deterministic
 :func:`~repro.engine.jobs.execute_job`, so results are bit-identical
@@ -66,8 +75,10 @@ ENV_HEARTBEAT = "REPRO_HEARTBEAT"
 #: declares a worker hung.  0 or unset leaves each backend's default.
 ENV_WATCHDOG = "REPRO_WATCHDOG"
 
-#: Valid ``--backend`` / ``REPRO_BACKEND`` values, in degradation order.
-BACKEND_NAMES = ("pool", "subprocess", "serial")
+#: Valid ``--backend`` / ``REPRO_BACKEND`` values.  ``remote`` sits at
+#: the top of the full degradation ladder (remote -> pool -> subprocess
+#: -> serial); the rest are listed in their own degradation order.
+BACKEND_NAMES = ("remote", "pool", "subprocess", "serial")
 
 #: Grace period for a worker to exit after the "exit" frame.
 _EXIT_GRACE_SECONDS = 0.5
@@ -78,7 +89,7 @@ def resolve_backend_name(value: Optional[str] = None) -> str:
     if value is None:
         value = os.environ.get(ENV_BACKEND) or None
     if value is None:
-        return BACKEND_NAMES[0]
+        return "pool"
     name = str(value).strip().lower()
     if name not in BACKEND_NAMES:
         raise EngineError(
@@ -556,12 +567,16 @@ def build_chain(
     timeout: Optional[float] = None,
     heartbeat: Optional[float] = None,
     watchdog: Optional[float] = None,
+    hosts: Optional[Sequence[object]] = None,
 ) -> List[WorkerBackend]:
     """The degradation chain for a primary backend choice.
 
-    ``pool`` degrades through ``subprocess``; ``subprocess`` stands
-    alone; ``serial`` is the empty chain.  The engine's in-process
-    serial executor is always the terminal stage after the chain.
+    ``remote`` degrades through ``pool`` then ``subprocess``; ``pool``
+    degrades through ``subprocess``; ``subprocess`` stands alone;
+    ``serial`` is the empty chain.  The engine's in-process serial
+    executor is always the terminal stage after the chain.  ``hosts``
+    (parsed :class:`~repro.engine.remote.HostSpec` entries) is required
+    for — and only consulted by — the remote rung.
     """
     name = resolve_backend_name(name)
     if name == "serial":
@@ -571,7 +586,34 @@ def build_chain(
     )
     if name == "subprocess":
         return [subprocess_backend]
-    return [
-        PoolBackend(max_workers, timeout, watchdog=watchdog),
-        subprocess_backend,
-    ]
+    pool_backend = PoolBackend(max_workers, timeout, watchdog=watchdog)
+    if name == "pool":
+        return [pool_backend, subprocess_backend]
+    from .remote import ENV_HOSTS, RemoteBackend
+
+    if not hosts:
+        raise EngineError(
+            "the remote backend needs at least one host "
+            f"(--hosts / {ENV_HOSTS})"
+        )
+    remote_backend = RemoteBackend(
+        hosts, timeout, heartbeat=heartbeat, watchdog=watchdog
+    )
+    return [remote_backend, pool_backend, subprocess_backend]
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised over pipes
+    import argparse as _argparse
+
+    _parser = _argparse.ArgumentParser(prog="repro.engine.backends")
+    _parser.add_argument(
+        "--worker",
+        action="store_true",
+        help="run the remote worker loop over stdin/stdout frames",
+    )
+    _options, _rest = _parser.parse_known_args()
+    if not _options.worker:
+        _parser.error("only --worker mode is runnable; see repro.engine.remote")
+    from .remote import worker_main
+
+    sys.exit(worker_main(_rest))

@@ -1,0 +1,1080 @@
+"""Remote worker backend: per-host fault domains over the frame protocol.
+
+:class:`RemoteBackend` ships :class:`~repro.engine.jobs.SimulationJob`\\ s
+to peer hosts speaking exactly the length-framed pipe protocol the
+heartbeat-subprocess backend already speaks (:mod:`~repro.engine.worker`)
+— the remote end runs ``python -m repro.engine.backends --worker`` from
+a checked-out tree.  Two transports exist:
+
+``ssh:<[user@]host>[:<dir>]``
+    the real thing: an ``ssh`` child process whose stdin/stdout carry
+    the frames; ``<dir>`` is the repo checkout on the remote (the worker
+    starts with ``PYTHONPATH=src`` there).
+``exec[:<label>]``
+    a loopback fake: a local subprocess posing as a remote host, running
+    the identical remote worker loop.  CI exercises every remote path —
+    connect, dispatch, trace fetch, network faults, host death — with no
+    SSH dependency, and the framing layer cannot tell the difference.
+
+Every host is its own *fault domain*:
+
+* **heartbeats** flow through the same watchdog logic the subprocess
+  backend uses — a host silent for ``watchdog`` seconds is declared
+  hung, its connection killed, its job requeued;
+* a per-host :class:`~repro.engine.supervise.CircuitBreaker` gates
+  dispatch.  Its clock is the host's *dispatch-opportunity counter*,
+  not wall time, so probe scheduling is deterministic: an open host
+  breaker skips a fixed number of opportunities, then half-opens and
+  probes.  Failed probes escalate the backoff (satellite fix in
+  :mod:`~repro.engine.supervise`);
+* a per-host :class:`~repro.engine.supervise.FlapCounter` rests a host
+  whose workers keep dying; the count decays over quiet periods so one
+  early flap does not quarantine a host forever;
+* connects, dispatches and results are **deadline-bounded**
+  (``REPRO_REMOTE_CONNECT_TIMEOUT``, ``REPRO_REMOTE_DEADLINE``);
+* re-dispatch is **idempotent by content address**: jobs are keyed by
+  :meth:`SimulationJob.key`, late results from a killed host are
+  dropped once a completion is recorded, and cache publication happens
+  exactly once, controller-side, through the store's atomic writes.
+
+``.rtr`` trace dependencies are fetched *on demand, by content digest*
+(:mod:`repro.traces.fetch`): the worker asks for the trace's digest,
+serves itself from its staging directory when possible, and otherwise
+streams the bytes over dedicated frames, verifying chunk checksums and
+the whole-trace digest before first use.
+
+Network fault classes from ``REPRO_FAULTS`` (``conn-refused``,
+``conn-drop``, ``stall``, ``garble``, ``partition``) are injected here,
+at the framing layer, keyed by per-host connect/dispatch ordinals — so
+every ladder rung is testable deterministically without real hosts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EngineError
+from .faults import active_plan
+from .jobs import SOURCE_REMOTE, SOURCE_REMOTE_FALLBACK, SimulationJob
+from .retry import RetryPolicy, _env_float
+from .robustness import PoolReport
+from .supervise import CircuitBreaker, FlapCounter
+from .worker import DEFAULT_HEARTBEAT_SECONDS, read_frame, write_frame
+
+#: Environment variable: comma-separated remote host specs.
+ENV_HOSTS = "REPRO_HOSTS"
+
+#: Environment variable: seconds to wait for a host's ``ready`` frame.
+ENV_REMOTE_CONNECT_TIMEOUT = "REPRO_REMOTE_CONNECT_TIMEOUT"
+
+#: Environment variable: per-dispatch result deadline, seconds.
+ENV_REMOTE_DEADLINE = "REPRO_REMOTE_DEADLINE"
+
+#: Environment variable: ``always`` forces remote workers to fetch
+#: traces by digest even when the path resolves locally (loopback CI
+#: uses this to exercise the fetch path on one machine).
+ENV_REMOTE_FETCH = "REPRO_REMOTE_FETCH"
+
+#: Default connect timeout, seconds.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Dispatch opportunities an open host breaker skips before half-open.
+#: Counted, not timed: probe scheduling is deterministic in dispatch
+#: order (the supervisor-level backend breakers stay wall-clock based).
+PROBE_OPPORTUNITIES = 4
+
+#: Decayed flap count at which a host is rested (it returns once the
+#: FlapCounter decays back under the limit).
+FLAP_QUARANTINE = 3
+
+#: Seconds of flap-free quiet after which a host's flap count halves.
+DEFAULT_FLAP_DECAY_SECONDS = 30.0
+
+#: Grace period for a remote worker to exit after the "exit" frame.
+_EXIT_GRACE_SECONDS = 0.5
+
+
+def default_connect_timeout() -> float:
+    """Connect timeout from ``REPRO_REMOTE_CONNECT_TIMEOUT`` (default 10 s)."""
+    value = _env_float(ENV_REMOTE_CONNECT_TIMEOUT, minimum=0.0)
+    return DEFAULT_CONNECT_TIMEOUT if value is None else value
+
+
+def default_remote_deadline() -> Optional[float]:
+    """Result deadline from ``REPRO_REMOTE_DEADLINE``; ``None`` when unset."""
+    value = _env_float(ENV_REMOTE_DEADLINE, minimum=0.0)
+    return None if not value else value
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One remote host: transport, label, and how to reach it."""
+
+    transport: str  #: ``"exec"`` (loopback subprocess) or ``"ssh"``.
+    name: str  #: Label used by breakers, telemetry and fault specs.
+    address: str = ""  #: ssh target (``user@host``), empty for exec.
+    directory: str = ""  #: Remote checkout directory, empty = preinstalled.
+
+    def describe(self) -> str:
+        if self.transport == "exec":
+            return f"exec:{self.name}"
+        base = f"ssh:{self.address}"
+        return f"{base}:{self.directory}" if self.directory else base
+
+
+def parse_hosts(value: Optional[str] = None) -> List[HostSpec]:
+    """Parse ``--hosts`` / ``REPRO_HOSTS`` into :class:`HostSpec` list.
+
+    Grammar, comma-separated::
+
+        host := "exec" [":" label]          (loopback fake host)
+              | ["ssh:"] [user "@"] name [":" dir]   (real SSH host)
+
+    Bare ``exec`` entries are labelled ``exec0``, ``exec1``, ... by
+    position.  Labels must be unique — they key breakers, fault specs
+    and the manifest's fault-domain profile.
+    """
+    if value is None:
+        value = os.environ.get(ENV_HOSTS, "")
+    specs: List[HostSpec] = []
+    for token in (t.strip() for t in str(value).split(",")):
+        if not token:
+            continue
+        if token == "exec" or token.startswith("exec:"):
+            label = token[5:] if token.startswith("exec:") else ""
+            if token.startswith("exec:") and not label:
+                raise EngineError(
+                    f"host spec {token!r}: 'exec:' needs a label "
+                    "(or use bare 'exec')"
+                )
+            specs.append(
+                HostSpec("exec", label or f"exec{len(specs)}")
+            )
+            continue
+        body = token[4:] if token.startswith("ssh:") else token
+        address, _, directory = body.partition(":")
+        if not address:
+            raise EngineError(
+                f"host spec {token!r}: expected 'exec[:label]' or "
+                "'[ssh:][user@]host[:dir]'"
+            )
+        name = address.rpartition("@")[2]
+        specs.append(HostSpec("ssh", name, address, directory))
+    names = [spec.name for spec in specs]
+    for name in names:
+        if names.count(name) > 1:
+            raise EngineError(
+                f"duplicate remote host label {name!r}; labels key "
+                "per-host breakers and fault specs and must be unique"
+            )
+    return specs
+
+
+def _spawn_command(spec: HostSpec, heartbeat: float) -> Tuple[List[str], Dict]:
+    """The argv + environment that starts this host's remote worker."""
+    if spec.transport == "exec":
+        command = [
+            sys.executable,
+            "-u",
+            "-c",
+            "import sys; from repro.engine.remote import worker_main; "
+            "sys.exit(worker_main(sys.argv[1:]))",
+            "--heartbeat",
+            str(heartbeat),
+        ]
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root
+            if not existing
+            else package_root + os.pathsep + existing
+        )
+        return command, env
+    remote = f"python3 -m repro.engine.backends --worker --heartbeat {heartbeat}"
+    if spec.directory:
+        remote = f"cd {spec.directory} && PYTHONPATH=src {remote}"
+    return (
+        ["ssh", "-o", "BatchMode=yes", spec.address, remote],
+        dict(os.environ),
+    )
+
+
+class _Connection:
+    """One live remote worker: process, pipes, reader thread."""
+
+    def __init__(
+        self, spec: HostSpec, heartbeat: float, inbox: "queue.Queue"
+    ) -> None:
+        self.spec = spec
+        command, env = _spawn_command(spec, heartbeat)
+        self.proc = subprocess.Popen(  # noqa: S603 — our own worker cmd
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        #: ``(job, attempt, dispatched_at)`` while busy, else ``None``.
+        self.current: Optional[Tuple[SimulationJob, int, float]] = None
+        self.last_seen = time.monotonic()
+        self.dead = False
+        #: Injected ``stall``: the reader drops every further frame, so
+        #: the host looks alive but silent — exactly what a stalled
+        #: network path looks like to the watchdog.
+        self.stalled = False
+        self.ready = threading.Event()
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(inbox,),
+            name=f"remote-reader-{spec.name}",
+            daemon=True,
+        )
+        reader.start()
+
+    def _read_loop(self, inbox: "queue.Queue") -> None:
+        while True:
+            frame = read_frame(self.proc.stdout)
+            if frame is None:
+                if not self.stalled:
+                    inbox.put((self, "eof", None))
+                return
+            if self.stalled:
+                continue  # partitioned reader: frames never arrive
+            self.last_seen = time.monotonic()
+            if frame[0] == "ready":
+                self.ready.set()
+            inbox.put((self, frame[0], frame[1]))
+
+    def await_ready(self, timeout: float) -> bool:
+        return self.ready.wait(timeout)
+
+    def send(self, kind: str, payload=None) -> bool:
+        try:
+            write_frame(self.proc.stdin, kind, payload)
+        except (OSError, ValueError):
+            return False
+        return True
+
+    def send_garbage(self) -> None:
+        """Write deliberately undecodable bytes (injected ``garble``)."""
+        try:
+            self.proc.stdin.write(b"\x00\x00\x00\x08notpickle")
+            self.proc.stdin.flush()
+        except (OSError, ValueError):
+            pass
+
+    def kill(self) -> None:
+        self.dead = True
+        self.current = None
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self.dead = True
+        if self.proc.poll() is None:
+            try:
+                write_frame(self.proc.stdin, "exit")
+                self.proc.stdin.close()
+            except (OSError, ValueError):
+                pass
+            try:
+                self.proc.wait(timeout=_EXIT_GRACE_SECONDS)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        try:
+            self.proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover — kernel lag
+            pass
+
+
+class _HostState:
+    """Everything the backend tracks about one host, across runs."""
+
+    def __init__(
+        self,
+        spec: HostSpec,
+        threshold: int,
+        flap_decay: float,
+    ) -> None:
+        self.spec = spec
+        self.conn: Optional[_Connection] = None
+        #: Deterministic breaker clock: dispatch opportunities seen.
+        self.opportunities = 0
+        self.connects = 0  #: connect ordinal (1-based in fault specs).
+        self.dispatches = 0  #: dispatch ordinal (1-based in fault specs).
+        self.partitioned = False
+        self.transitions: List[Dict] = []
+        self.breaker = CircuitBreaker(
+            f"host:{spec.name}",
+            threshold,
+            float(PROBE_OPPORTUNITIES),
+            self.transitions,
+            clock=lambda: float(self.opportunities),
+        )
+        self.flaps = FlapCounter(flap_decay)
+        self.rested_noted = False
+        self.stats: Dict[str, float] = {
+            "dispatches": 0,
+            "completions": 0,
+            "requeues": 0,
+            "connects": 0,
+            "connect_failures": 0,
+            "flaps": 0,
+            "trace_fetches": 0,
+            "trace_bytes_sent": 0,
+        }
+        self._reported_transitions = 0
+
+    def take_new_transitions(self) -> List[Dict]:
+        """Breaker transitions not yet reported to a PoolReport."""
+        fresh = self.transitions[self._reported_transitions:]
+        self._reported_transitions = len(self.transitions)
+        return [dict(t) for t in fresh]
+
+
+class RemoteBackend:
+    """Frame-protocol jobs on peer hosts, one fault domain per host.
+
+    Satisfies the :class:`~repro.engine.backends.WorkerBackend`
+    contract; the supervisor chains it ahead of the local pool, so the
+    degradation ladder reads ``remote -> pool -> subprocess -> serial``.
+    Host state (breakers, flap counters, partition flags) persists
+    across ``run`` calls, exactly like the supervisor's backend
+    breakers: a host that proved sick stays benched between dispatches.
+    """
+
+    name = "remote"
+    source = SOURCE_REMOTE
+    fallback_source = SOURCE_REMOTE_FALLBACK
+
+    def __init__(
+        self,
+        hosts: Sequence[HostSpec],
+        timeout: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+        watchdog: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        threshold: Optional[int] = None,
+        flap_decay: float = DEFAULT_FLAP_DECAY_SECONDS,
+    ) -> None:
+        if not hosts:
+            raise EngineError(
+                f"the remote backend needs at least one host "
+                f"(--hosts / {ENV_HOSTS})"
+            )
+        from .supervise import default_breaker_threshold
+
+        self.heartbeat = (
+            heartbeat
+            if heartbeat is not None
+            else DEFAULT_HEARTBEAT_SECONDS
+        )
+        if watchdog is not None:
+            self.hang_after: Optional[float] = watchdog
+        elif self.heartbeat > 0:
+            self.hang_after = max(8.0 * self.heartbeat, 4.0)
+        else:
+            self.hang_after = None
+        self.connect_timeout = (
+            connect_timeout
+            if connect_timeout is not None
+            else default_connect_timeout()
+        )
+        env_deadline = default_remote_deadline()
+        self.deadline = (
+            deadline
+            if deadline is not None
+            else env_deadline if env_deadline is not None else timeout
+        )
+        threshold = (
+            threshold
+            if threshold is not None
+            else default_breaker_threshold()
+        )
+        self._hosts: Dict[str, _HostState] = {}
+        for spec in hosts:
+            self._hosts[spec.name] = _HostState(spec, threshold, flap_decay)
+
+    def worth_starting(self, pending: int) -> bool:
+        return any(
+            not state.partitioned for state in self._hosts.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def run(self, jobs, start_attempts, policy: RetryPolicy) -> PoolReport:
+        report = PoolReport()
+        plan = active_plan()
+        by_key = {job.key(): job for job in jobs}
+        inbox: "queue.Queue" = queue.Queue()
+        ready: deque = deque(
+            (job, start_attempts.get(job, 0) + 1) for job in jobs
+        )
+        delayed: List[Tuple[float, int, SimulationJob, int]] = []
+        sequence = 0
+        connections: List[_Connection] = []
+        # Bounds re-dispatches the way the subprocess backend bounds
+        # respawns: a flapping fleet cannot spin forever.
+        dispatch_budget = policy.max_attempts * len(jobs) + len(self._hosts)
+
+        def host_of(conn: _Connection) -> _HostState:
+            return self._hosts[conn.spec.name]
+
+        def record_retry(job, attempt, reason, delay) -> None:
+            report.retries.append(
+                {
+                    "job": job.describe(),
+                    "key": job.key(),
+                    "failed_attempt": attempt,
+                    "next_attempt": attempt + 1,
+                    "reason": reason,
+                    "backoff_seconds": delay,
+                    "where": "remote",
+                }
+            )
+
+        def requeue(job, attempt, reason, what) -> None:
+            nonlocal sequence
+            if policy.retries_left(attempt):
+                delay = policy.delay_before(attempt + 1)
+                sequence += 1
+                heapq.heappush(
+                    delayed,
+                    (time.monotonic() + delay, sequence, job, attempt + 1),
+                )
+                record_retry(job, attempt, reason, delay)
+                report.notes.append(
+                    f"job {job.describe()} {what}; retrying "
+                    f"(attempt {attempt + 1}/{policy.max_attempts}) "
+                    f"in {delay:g}s"
+                )
+            else:
+                report.exhausted.append(job)
+                report.notes.append(
+                    f"job {job.describe()} {what}; retries exhausted after "
+                    f"{attempt} attempt(s), finishing elsewhere"
+                )
+
+        def infra(state: _HostState, message: str) -> None:
+            report.infra_failures.append(message)
+            state.breaker.record([message])
+
+        def sever(
+            conn: _Connection, state: _HostState, reason: str, what: str
+        ) -> None:
+            """Kill a connection, requeue its in-flight job, count a flap."""
+            current = conn.current
+            conn.kill()
+            state.stats["flaps"] += 1
+            state.flaps.record()
+            if current is not None:
+                job, attempt, _ = current
+                state.stats["requeues"] += 1
+                infra(
+                    state,
+                    f"host {state.spec.name} {reason} "
+                    f"running {job.describe()}",
+                )
+                report.notes.append(
+                    f"host {state.spec.name} {reason} running "
+                    f"{job.describe()}; requeuing"
+                )
+                requeue(job, attempt, f"host {reason}", what)
+            else:
+                infra(state, f"host {state.spec.name} {reason}")
+
+        def connect(state: _HostState) -> Optional[_Connection]:
+            """One deadline-bounded connect attempt, faults included."""
+            state.connects += 1
+            state.stats["connects"] += 1
+            ordinal = state.connects
+            spec_name = state.spec.name
+            if plan is not None:
+                fault = plan.network_spec(spec_name, "connect", ordinal)
+                if fault is not None and fault.kind == "conn-refused":
+                    plan.record_network(fault, spec_name, ordinal)
+                    state.stats["connect_failures"] += 1
+                    infra(
+                        state,
+                        f"connect #{ordinal} to host {spec_name} refused",
+                    )
+                    report.notes.append(
+                        f"connect #{ordinal} to host {spec_name} refused"
+                    )
+                    return None
+            try:
+                conn = _Connection(state.spec, self.heartbeat, inbox)
+            except (OSError, ValueError) as error:
+                state.stats["connect_failures"] += 1
+                infra(
+                    state,
+                    f"host {spec_name} failed to start a worker ({error})",
+                )
+                return None
+            connections.append(conn)
+            if not conn.await_ready(self.connect_timeout):
+                conn.kill()
+                state.stats["connect_failures"] += 1
+                infra(
+                    state,
+                    f"host {spec_name} sent no ready frame within "
+                    f"{self.connect_timeout:g}s",
+                )
+                return None
+            state.conn = conn
+            return conn
+
+        def live_hosts() -> List[_HostState]:
+            return list(self._hosts.values())
+
+        def busy_conns() -> List[_Connection]:
+            return [
+                state.conn
+                for state in self._hosts.values()
+                if state.conn is not None
+                and not state.conn.dead
+                and state.conn.current is not None
+            ]
+
+        def dispatch_one(state: _HostState, job, attempt) -> bool:
+            """Send one job to one host, injecting dispatch faults."""
+            nonlocal dispatch_budget
+            dispatch_budget -= 1
+            conn = state.conn
+            state.dispatches += 1
+            state.stats["dispatches"] += 1
+            ordinal = state.dispatches
+            fault = (
+                plan.network_spec(state.spec.name, "dispatch", ordinal)
+                if plan is not None
+                else None
+            )
+            if fault is not None:
+                plan.record_network(fault, state.spec.name, ordinal)
+                if fault.kind == "garble":
+                    # The job frame is corrupted on the wire: the remote
+                    # reader sees undecodable bytes and gives up.
+                    conn.current = (job, attempt, time.monotonic())
+                    report.attempts[job] = max(
+                        attempt, report.attempts.get(job, 0)
+                    )
+                    conn.send_garbage()
+                    return True
+                if fault.kind in ("conn-drop", "partition"):
+                    conn.current = (job, attempt, time.monotonic())
+                    report.attempts[job] = max(
+                        attempt, report.attempts.get(job, 0)
+                    )
+                    conn.send("job", (job, attempt))
+                    if fault.kind == "partition":
+                        state.partitioned = True
+                        report.notes.append(
+                            f"host {state.spec.name} partitioned "
+                            "(injected); it will not return this run"
+                        )
+                    conn.stalled = True  # frames in flight are lost too
+                    sever(
+                        conn,
+                        state,
+                        "connection dropped (injected)"
+                        if fault.kind == "conn-drop"
+                        else "partitioned (injected)",
+                        "lost its connection",
+                    )
+                    state.conn = None
+                    return True
+                if fault.kind == "stall":
+                    conn.current = (job, attempt, time.monotonic())
+                    report.attempts[job] = max(
+                        attempt, report.attempts.get(job, 0)
+                    )
+                    conn.send("job", (job, attempt))
+                    conn.stalled = True  # silence: the watchdog must act
+                    return True
+            conn.current = (job, attempt, time.monotonic())
+            conn.last_seen = time.monotonic()
+            if not conn.send("job", (job, attempt)):
+                conn.current = None
+                conn.dead = True
+                state.conn = None
+                infra(
+                    state,
+                    f"host {state.spec.name} pipe closed before "
+                    f"{job.describe()} could be dispatched",
+                )
+                ready.appendleft((job, attempt))
+                return False
+            report.attempts[job] = max(attempt, report.attempts.get(job, 0))
+            return True
+
+        try:
+            while ready or delayed or busy_conns():
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, job, attempt = heapq.heappop(delayed)
+                    ready.append((job, attempt))
+                progressed = False
+                for state in live_hosts():
+                    if not ready:
+                        break
+                    if dispatch_budget <= 0:
+                        break
+                    if state.conn is not None and (
+                        state.conn.dead or state.conn.current is not None
+                    ):
+                        if state.conn.dead:
+                            state.conn = None
+                        else:
+                            continue
+                    if state.partitioned:
+                        continue
+                    state.opportunities += 1
+                    if state.flaps.value() >= FLAP_QUARANTINE:
+                        if not state.rested_noted:
+                            state.rested_noted = True
+                            report.notes.append(
+                                f"host {state.spec.name} is flapping "
+                                f"({state.flaps.value()} recent flaps); "
+                                "resting it until the count decays"
+                            )
+                        continue
+                    state.rested_noted = False
+                    if not state.breaker.allow():
+                        continue
+                    if state.conn is None and connect(state) is None:
+                        continue
+                    job, attempt = ready.popleft()
+                    if job in report.completed:
+                        continue  # late duplicate; already published once
+                    if dispatch_one(state, job, attempt):
+                        progressed = True
+                if dispatch_budget <= 0 and ready:
+                    report.notes.append(
+                        "remote dispatch budget exhausted; "
+                        "finishing elsewhere"
+                    )
+                    report.infra_failures.append(
+                        "remote dispatch budget exhausted"
+                    )
+                    break
+                busy = busy_conns()
+                if not busy:
+                    if ready:
+                        usable = [
+                            s
+                            for s in live_hosts()
+                            if not s.partitioned
+                            and s.flaps.value() < FLAP_QUARANTINE
+                            and s.breaker.allow()
+                        ]
+                        if not usable:
+                            report.notes.append(
+                                "no usable remote host remains "
+                                "(partitioned, flapping or breaker-open); "
+                                "finishing elsewhere"
+                            )
+                            break
+                        if progressed:
+                            continue
+                        # Usable hosts exist but none accepted work this
+                        # pass (connects failed): try again, bounded by
+                        # the dispatch budget via connect accounting.
+                        if dispatch_budget <= 0:
+                            break
+                        continue
+                    if delayed:
+                        time.sleep(
+                            max(0.0, delayed[0][0] - time.monotonic())
+                        )
+                        continue
+                    break
+                horizon: List[float] = []
+                if self.deadline is not None:
+                    horizon.extend(
+                        c.current[2] + self.deadline for c in busy
+                    )
+                if self.hang_after is not None:
+                    horizon.extend(
+                        c.last_seen + self.hang_after for c in busy
+                    )
+                if delayed:
+                    horizon.append(delayed[0][0])
+                block = (
+                    max(0.0, min(horizon) - time.monotonic()) + 0.01
+                    if horizon
+                    else None
+                )
+                try:
+                    sender, kind, payload = inbox.get(timeout=block)
+                except queue.Empty:
+                    pass
+                else:
+                    self._handle_frame(
+                        sender, kind, payload, by_key, report, requeue
+                    )
+                self._watchdog_pass(report, sever, requeue)
+        finally:
+            for conn in connections:
+                conn.close()
+            for state in self._hosts.values():
+                if state.conn is not None and state.conn.dead:
+                    state.conn = None
+        report.leftovers = [
+            job for job in jobs if job not in report.completed
+        ]
+        for state in self._hosts.values():
+            counters = dict(state.stats)
+            counters["breaker_transitions"] = state.take_new_transitions()
+            counters["breaker_state"] = state.breaker.state
+            counters["partitioned"] = state.partitioned
+            report.hosts[state.spec.name] = counters
+        return report
+
+    # ------------------------------------------------------------------
+    # Frame handling
+    # ------------------------------------------------------------------
+    def _handle_frame(
+        self, sender, kind, payload, by_key, report, requeue
+    ) -> None:
+        state = self._hosts[sender.spec.name]
+        if kind == "result":
+            job = by_key.get(payload.get("key"))
+            if job is not None and job not in report.completed:
+                report.completed[job] = (
+                    payload["payload"],
+                    payload["wall"],
+                )
+                state.stats["completions"] += 1
+                state.breaker.record([])  # clean completion: host healthy
+            if sender.current is not None and sender.current[0] is job:
+                sender.current = None
+        elif kind == "error":
+            if sender.current is None:
+                return  # raced with a watchdog kill; already requeued
+            job, attempt, _ = sender.current
+            sender.current = None
+            state.stats["requeues"] += 1
+            requeue(
+                job,
+                attempt,
+                f"{payload.get('kind')}: {payload.get('message')}",
+                f"raised on host {state.spec.name} ({payload.get('kind')})",
+            )
+        elif kind == "trace-fetch":
+            self._serve_trace_meta(sender, state, payload, report)
+        elif kind == "trace-need":
+            self._serve_trace_bytes(sender, state, payload, report)
+        elif kind == "eof":
+            if sender.dead:
+                return  # killed on purpose; its job is already requeued
+            sender.dead = True
+            if state.conn is sender:
+                state.conn = None
+            try:
+                exit_code = sender.proc.wait(timeout=1.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                exit_code = sender.proc.poll()
+            state.stats["flaps"] += 1
+            state.flaps.record()
+            if sender.current is not None:
+                job, attempt, _ = sender.current
+                sender.current = None
+                state.stats["requeues"] += 1
+                report.infra_failures.append(
+                    f"host {state.spec.name} worker died "
+                    f"(exit {exit_code}) running {job.describe()}"
+                )
+                state.breaker.record(
+                    [f"worker died (exit {exit_code})"]
+                )
+                report.notes.append(
+                    f"host {state.spec.name} worker died (exit {exit_code}) "
+                    f"running {job.describe()}; requeuing"
+                )
+                requeue(
+                    job,
+                    attempt,
+                    f"host worker died (exit {exit_code})",
+                    "lost its host",
+                )
+            else:
+                report.infra_failures.append(
+                    f"host {state.spec.name} worker died (exit {exit_code})"
+                )
+                state.breaker.record(
+                    [f"worker died (exit {exit_code})"]
+                )
+        # "ready"/"heartbeat" only refresh last_seen (reader did that).
+
+    def _serve_trace_meta(self, sender, state, payload, report) -> None:
+        """Answer a worker's digest query for one trace path."""
+        from ..traces.registry import trace_info
+
+        path = payload.get("path", "")
+        try:
+            info = trace_info(path)
+        except Exception as error:  # noqa: BLE001 — forwarded to worker
+            sender.send(
+                "trace-meta", {"path": path, "error": str(error)}
+            )
+            return
+        sender.send(
+            "trace-meta",
+            {
+                "path": path,
+                "digest": info.digest,
+                "file_bytes": info.file_bytes,
+            },
+        )
+
+    def _serve_trace_bytes(self, sender, state, payload, report) -> None:
+        """Stream one trace's raw bytes to a worker that missed staging."""
+        from ..traces.fetch import FETCH_CHUNK_BYTES, iter_trace_bytes
+
+        path = payload.get("path", "")
+        state.stats["trace_fetches"] += 1
+        sent = 0
+        try:
+            for block in iter_trace_bytes(path, FETCH_CHUNK_BYTES):
+                if not sender.send(
+                    "trace-data", {"path": path, "data": block, "eof": False}
+                ):
+                    return
+                sent += len(block)
+        except OSError:
+            pass  # worker-side verification rejects the torn stream
+        sender.send("trace-data", {"path": path, "data": b"", "eof": True})
+        state.stats["trace_bytes_sent"] += sent
+        report.notes.append(
+            f"streamed trace {os.path.basename(path)} "
+            f"({sent} bytes) to host {state.spec.name}"
+        )
+
+    def _watchdog_pass(self, report, sever, requeue) -> None:
+        now = time.monotonic()
+        for state in self._hosts.values():
+            conn = state.conn
+            if conn is None or conn.dead or conn.current is None:
+                continue
+            job, attempt, dispatched = conn.current
+            gap = now - conn.last_seen
+            if self.hang_after is not None and gap >= self.hang_after:
+                report.heartbeats.append(
+                    {
+                        "backend": self.name,
+                        "kind": "hang",
+                        "host": state.spec.name,
+                        "worker": conn.proc.pid,
+                        "gap_seconds": round(gap, 3),
+                        "job": job.describe(),
+                    }
+                )
+                sever(
+                    conn,
+                    state,
+                    f"went silent for {gap:.1f}s",
+                    "went silent (hung host connection killed)",
+                )
+                state.conn = None
+            elif (
+                self.deadline is not None
+                and now - dispatched >= self.deadline
+            ):
+                # A per-job deadline, not an infrastructure failure: the
+                # breaker is left alone, the job is retried like a local
+                # job that ran over REPRO_JOB_TIMEOUT would be.
+                conn.kill()
+                state.conn = None
+                state.stats["requeues"] += 1
+                report.notes.append(
+                    f"host {state.spec.name} exceeded the "
+                    f"{self.deadline:g}s result deadline on "
+                    f"{job.describe()}; requeuing"
+                )
+                requeue(
+                    job,
+                    attempt,
+                    f"result deadline ({self.deadline:g}s) exceeded",
+                    "missed its result deadline",
+                )
+
+
+def _missing_trace_ref(job: SimulationJob) -> Optional[object]:
+    """The parsed trace ref this job needs fetched, or ``None``."""
+    from ..traces.registry import is_trace_ref, parse_trace_ref
+
+    if not isinstance(job.benchmark, str) or not is_trace_ref(job.benchmark):
+        return None
+    ref = parse_trace_ref(job.benchmark)
+    fetch_mode = os.environ.get(ENV_REMOTE_FETCH, "").strip().lower()
+    if fetch_mode == "always":
+        return ref
+    return ref if not os.path.exists(ref.path) else None
+
+
+def _stage_job_trace(job: SimulationJob, protocol_in, emit) -> SimulationJob:
+    """Fetch a job's missing trace by digest; returns the rewritten job.
+
+    The staged copy keeps the job's content address: trace identity is
+    digest- (or provenance-) based, never path-based, so substituting
+    the staged path leaves :meth:`SimulationJob.key` unchanged and the
+    controller's completion bookkeeping lines up.
+    """
+    from ..traces.fetch import TraceFetchError, TraceStager, staged_trace_path
+    from ..traces.registry import format_trace_ref
+
+    ref = _missing_trace_ref(job)
+    if ref is None:
+        return job
+    emit("trace-fetch", {"path": ref.path})
+    while True:
+        frame = read_frame(protocol_in)
+        if frame is None:
+            raise TraceFetchError(
+                f"controller vanished while serving metadata for {ref.path}"
+            )
+        kind, payload = frame
+        if kind == "trace-meta":
+            break
+    if payload.get("error") or not payload.get("digest"):
+        raise TraceFetchError(
+            f"controller cannot serve trace {ref.path}: "
+            f"{payload.get('error', 'no digest')}"
+        )
+    digest = payload["digest"]
+    staged = staged_trace_path(digest)
+    if not staged.exists():
+        emit("trace-need", {"path": ref.path})
+        stager = TraceStager(digest, payload.get("file_bytes"))
+        try:
+            while True:
+                frame = read_frame(protocol_in)
+                if frame is None:
+                    raise TraceFetchError(
+                        f"controller vanished while streaming {ref.path}"
+                    )
+                kind, data = frame
+                if kind != "trace-data":
+                    continue
+                if data.get("data"):
+                    stager.feed(data["data"])
+                if data.get("eof"):
+                    break
+            staged = stager.finish()
+        except BaseException:
+            stager.abort()
+            raise
+    new_ref = format_trace_ref(
+        staged, ref.window, ref.window_instructions
+    )
+    return replace(job, benchmark=new_ref)
+
+
+def worker_main(argv=None) -> int:
+    """Remote worker loop: the subprocess worker plus digest trace fetch.
+
+    Started on the remote end by ``python -m repro.engine.backends
+    --worker`` (or directly for the loopback exec transport).  Speaks a
+    strict superset of :mod:`repro.engine.worker`'s protocol: jobs whose
+    ``trace:`` workload is absent locally are fetched by content digest
+    and verified before first use (:mod:`repro.traces.fetch`).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.engine.backends --worker")
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT_SECONDS,
+        help="seconds between heartbeat frames (0 disables them)",
+    )
+    options = parser.parse_args(argv)
+
+    # Claim the protocol channel, then shield it from stray prints.
+    protocol_out = os.fdopen(os.dup(sys.stdout.fileno()), "wb")
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    protocol_in = sys.stdin.buffer
+
+    write_lock = threading.Lock()
+
+    def emit(kind: str, payload=None) -> None:
+        try:
+            with write_lock:
+                write_frame(protocol_out, kind, payload)
+        except (OSError, ValueError):
+            os._exit(0)  # the controller went away; nobody left to serve
+
+    silenced = threading.Event()
+    if options.heartbeat > 0:
+
+        def beat() -> None:
+            while True:
+                time.sleep(options.heartbeat)
+                if not silenced.is_set():
+                    emit("heartbeat", time.monotonic())
+
+        threading.Thread(target=beat, name="heartbeat", daemon=True).start()
+
+    emit("ready", {"pid": os.getpid(), "remote": True})
+
+    from .faults import active_plan as worker_plan
+    from .jobs import execute_job
+
+    while True:
+        frame = read_frame(protocol_in)
+        if frame is None:
+            break
+        kind, payload = frame
+        if kind == "exit":
+            break
+        if kind != "job":
+            continue
+        job, attempt = payload
+        plan = worker_plan()
+        try:
+            job = _stage_job_trace(job, protocol_in, emit)
+            if plan is not None:
+                if plan.matches_hang(job, attempt):
+                    # A hung host stops beating: silence the heartbeat
+                    # before stalling so the watchdog sees a real hang.
+                    silenced.set()
+                plan.inject_worker(job, attempt)
+            start = time.perf_counter()
+            annotated = execute_job(job)
+            wall = time.perf_counter() - start
+            if plan is not None:
+                annotated = plan.mangle_result(job, attempt, annotated)
+            emit(
+                "result",
+                {"key": job.key(), "wall": wall, "payload": annotated},
+            )
+        except Exception as error:  # noqa: BLE001 — forwarded, not swallowed
+            try:
+                key = job.key()
+            except Exception:  # noqa: BLE001 — staging failed pre-key
+                key = None
+            emit(
+                "error",
+                {
+                    "key": key,
+                    "kind": type(error).__name__,
+                    "message": str(error),
+                },
+            )
+        finally:
+            silenced.clear()
+    return 0

@@ -62,8 +62,25 @@ def default_breaker_cooldown() -> float:
     return DEFAULT_BREAKER_COOLDOWN if value is None else value
 
 
+#: Cap on the half-open backoff exponent: a breaker that keeps failing
+#: its probes waits at most ``cooldown * 2**_MAX_REOPEN_SHIFT``.
+_MAX_REOPEN_SHIFT = 6
+
+
 class CircuitBreaker:
-    """Closed -> open -> half-open failure gate for one backend."""
+    """Closed -> open -> half-open failure gate for one backend.
+
+    ``clock`` defaults to wall time; the remote backend passes a
+    per-host dispatch-opportunity counter instead, which makes probe
+    scheduling deterministic (the Nth opportunity probes, whatever the
+    wall clock did in between).
+
+    A single successful half-open probe closes the breaker and resets
+    the backoff schedule.  A *failed* probe re-opens it with the next
+    backoff step — ``cooldown * 2**reopens``, capped — instead of
+    restarting the schedule from the base cooldown, so a persistently
+    sick backend is probed geometrically less often.
+    """
 
     def __init__(
         self,
@@ -71,15 +88,24 @@ class CircuitBreaker:
         threshold: int,
         cooldown: float,
         transitions: Optional[List[Dict]] = None,
+        clock=time.monotonic,
     ) -> None:
         self.name = name
         self.threshold = threshold
         self.cooldown = cooldown
+        self.clock = clock
         self.state = "closed"
         self.consecutive_failures = 0
+        #: How many times a failed probe re-opened the breaker since it
+        #: last closed; drives the escalating half-open backoff.
+        self.reopens = 0
         self._opened_at: Optional[float] = None
         #: Shared transition log (the supervisor passes its own).
         self.transitions = transitions if transitions is not None else []
+
+    def current_cooldown(self) -> float:
+        """The wait before the next half-open probe (escalates on failure)."""
+        return self.cooldown * (2 ** min(self.reopens, _MAX_REOPEN_SHIFT))
 
     def _move(self, state: str, reason: str) -> None:
         self.transitions.append(
@@ -98,7 +124,7 @@ class CircuitBreaker:
         if self.state == "open":
             if (
                 self._opened_at is not None
-                and time.monotonic() - self._opened_at >= self.cooldown
+                and self.clock() - self._opened_at >= self.current_cooldown()
             ):
                 self._move("half-open", "cooldown elapsed; probing")
                 return True
@@ -110,13 +136,18 @@ class CircuitBreaker:
         if infra_failures:
             self.consecutive_failures += len(infra_failures)
             if self.state == "half-open":
-                self._opened_at = time.monotonic()
-                self._move("open", f"probe failed ({infra_failures[0]})")
+                self.reopens += 1
+                self._opened_at = self.clock()
+                self._move(
+                    "open",
+                    f"probe failed ({infra_failures[0]}); next probe in "
+                    f"{self.current_cooldown():g}",
+                )
             elif (
                 self.state == "closed"
                 and self.consecutive_failures >= self.threshold
             ):
-                self._opened_at = time.monotonic()
+                self._opened_at = self.clock()
                 self._move(
                     "open",
                     f"{self.consecutive_failures} consecutive "
@@ -124,8 +155,55 @@ class CircuitBreaker:
                 )
         else:
             self.consecutive_failures = 0
+            self.reopens = 0
             if self.state != "closed":
                 self._move("closed", "dispatch completed cleanly")
+
+
+class FlapCounter:
+    """Flap tally that halves after every clean quiet period.
+
+    The subprocess and remote watchdogs count worker/host flaps (hard
+    deaths) to decide when a fault domain is too sick to keep feeding.
+    A plain monotone counter would let one early flap bias a long run
+    toward quarantine forever; this counter instead halves for every
+    ``decay_after`` seconds that pass without a new flap, so only
+    *sustained* flapping accumulates.
+    """
+
+    def __init__(self, decay_after: float, clock=time.monotonic) -> None:
+        if decay_after < 0:
+            raise ValueError(
+                f"decay_after must be non-negative, got {decay_after!r}"
+            )
+        self.decay_after = decay_after
+        self.clock = clock
+        self._count = 0
+        self._last_flap: Optional[float] = None
+
+    def _decay(self) -> None:
+        if self._last_flap is None or self.decay_after <= 0:
+            return
+        elapsed = self.clock() - self._last_flap
+        periods = int(elapsed // self.decay_after)
+        if periods <= 0:
+            return
+        # Halve once per fully elapsed quiet period; advance the anchor
+        # by the consumed periods so partial periods keep accumulating.
+        self._count >>= min(periods, self._count.bit_length())
+        self._last_flap += periods * self.decay_after
+
+    def record(self) -> int:
+        """Count one flap; returns the post-decay running value."""
+        self._decay()
+        self._count += 1
+        self._last_flap = self.clock()
+        return self._count
+
+    def value(self) -> int:
+        """The current (decayed) flap count."""
+        self._decay()
+        return self._count
 
 
 @dataclass(frozen=True)
@@ -154,6 +232,14 @@ class SupervisionOutcome:
     notes: List[str] = field(default_factory=list)
     retries: List[Dict] = field(default_factory=list)
     heartbeats: List[Dict] = field(default_factory=list)
+    #: Degradation-ladder descents this dispatch took, in order: each is
+    #: ``{"from", "to", "jobs", "reason"}`` (manifest v9 material).
+    descents: List[Dict] = field(default_factory=list)
+    #: Rungs that actually completed at least one job, dispatch order.
+    rungs_used: List[str] = field(default_factory=list)
+    #: Per-host fault-domain counters reported by host-aware backends
+    #: (the remote backend), keyed by host name.
+    hosts: Dict[str, Dict] = field(default_factory=dict)
 
 
 class Supervisor:
@@ -203,6 +289,14 @@ class Supervisor:
         out = SupervisionOutcome()
         remaining: Dict[object, int] = {job: 0 for job in jobs}
         exhausted: Dict[object, int] = {}
+
+        def next_rung(index: int) -> str:
+            return (
+                self.chain[index + 1].name
+                if index + 1 < len(self.chain)
+                else "serial"
+            )
+
         for index, backend in enumerate(self.chain):
             if not remaining:
                 break
@@ -217,6 +311,14 @@ class Supervisor:
                     "failure(s)); skipping it"
                 )
                 out.engaged = True
+                out.descents.append(
+                    {
+                        "from": backend.name,
+                        "to": next_rung(index),
+                        "jobs": len(remaining),
+                        "reason": "circuit breaker open",
+                    }
+                )
                 continue
             report = backend.run(
                 list(remaining), dict(remaining), self.policy
@@ -224,7 +326,20 @@ class Supervisor:
             out.notes.extend(report.notes)
             out.retries.extend(report.retries)
             out.heartbeats.extend(report.heartbeats)
+            for host, counters in getattr(report, "hosts", {}).items():
+                merged = out.hosts.setdefault(host, {})
+                for field_name, value in counters.items():
+                    if isinstance(value, list):
+                        merged.setdefault(field_name, []).extend(value)
+                    elif isinstance(value, (int, float)):
+                        merged[field_name] = (
+                            merged.get(field_name, 0) + value
+                        )
+                    else:
+                        merged[field_name] = value
             breaker.record(report.infra_failures)
+            if report.completed:
+                out.rungs_used.append(backend.name)
             for job, (annotated, wall) in report.completed.items():
                 source = backend.source if primary else backend.fallback_source
                 out.completed[job] = Completion(
@@ -244,11 +359,27 @@ class Supervisor:
                 remaining[job] = report.attempts.get(job, remaining[job])
             if remaining or report.exhausted:
                 out.engaged = True  # the backend stranded work: degrade
+                stranded = len(remaining) + len(report.exhausted)
+                reason = (
+                    report.infra_failures[-1]
+                    if report.infra_failures
+                    else "jobs left unfinished"
+                )
+                out.descents.append(
+                    {
+                        "from": backend.name,
+                        "to": next_rung(index),
+                        "jobs": stranded,
+                        "reason": reason,
+                    }
+                )
         for job in jobs:
             if job not in out.completed:
                 out.leftovers.append(
                     (job, exhausted.get(job, remaining.get(job, 0)))
                 )
+        if out.leftovers:
+            out.rungs_used.append("serial")
         return out
 
 

@@ -50,8 +50,12 @@ from .jobs import SOURCE_CACHED, JobOutcome
 #: section (the run's resolved kernel mode, residual implementation,
 #: trace transport mode and published-arena totals) plus per-job
 #: ``residual_impl`` (which residual-loop implementation — ``python``,
-#: ``compiled`` or ``scalar`` — produced the result).
-MANIFEST_VERSION = 8
+#: ``compiled`` or ``scalar`` — produced the result); version 9 added
+#: the ``fault_domains`` section (the ``FaultDomainProfile`` of a
+#: remote-capable run: per-host dispatch/retry/breaker-transition
+#: counters, degradation-ladder descents in order, the rungs that
+#: completed work and the final rung — empty for purely local runs).
+MANIFEST_VERSION = 9
 
 
 class Stopwatch:
@@ -131,6 +135,10 @@ class RunTelemetry:
     #: mode, residual implementation, trace transport mode and
     #: published-arena totals.
     substrate: Dict = field(default_factory=dict)
+    #: The ``FaultDomainProfile`` of a remote-capable run (manifest v9):
+    #: per-host counters and breaker transitions, ladder descents, rungs
+    #: used and the final rung.  Empty for purely local runs.
+    fault_domains: Dict = field(default_factory=dict)
     #: Live event observers (not part of the manifest).
     observers: List[Callable] = field(default_factory=list, repr=False)
     #: Guards the record lists when several engine slots of one fleet
@@ -267,6 +275,38 @@ class RunTelemetry:
         an empty section.
         """
         self.coordination = dict(profile)
+
+    def record_fault_domains(self, profile: Dict) -> None:
+        """Merge one dispatch's ``FaultDomainProfile`` (manifest v9).
+
+        The engine records a profile per dispatch that touched the
+        ladder; a run of several dispatches therefore *merges*: host
+        counters add (lists extend), ladder descents and used rungs
+        append in dispatch order, and the final rung reflects the most
+        recent dispatch that completed work.
+        """
+        with self._lock:
+            hosts = self.fault_domains.setdefault("hosts", {})
+            for host, counters in profile.get("hosts", {}).items():
+                merged = hosts.setdefault(host, {})
+                for key, value in counters.items():
+                    if isinstance(value, list):
+                        merged.setdefault(key, []).extend(value)
+                    elif isinstance(value, bool):
+                        merged[key] = value
+                    elif isinstance(value, (int, float)):
+                        merged[key] = merged.get(key, 0) + value
+                    else:
+                        merged[key] = value
+            self.fault_domains.setdefault("ladder", []).extend(
+                dict(d) for d in profile.get("ladder", [])
+            )
+            self.fault_domains.setdefault("rungs_used", []).extend(
+                profile.get("rungs_used", [])
+            )
+            final = profile.get("final_rung")
+            if final is not None:
+                self.fault_domains["final_rung"] = final
 
     def record_substrate(self, profile: Dict) -> None:
         """Merge substrate facts (kernel + transport) into the manifest.
@@ -447,6 +487,7 @@ class RunTelemetry:
             "service": dict(self.service),
             "coordination": dict(self.coordination),
             "substrate": dict(self.substrate),
+            "fault_domains": dict(self.fault_domains),
         }
 
     def write_manifest(self, path) -> str:

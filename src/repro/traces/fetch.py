@@ -1,0 +1,166 @@
+"""Digest-addressed trace staging for remote workers.
+
+A remote worker that receives a job whose workload is a ``trace:`` ref
+may not have the ``.rtr`` file on its filesystem.  Rather than shipping
+trace bytes with every job, the remote protocol fetches them *on
+demand, by content digest*: the worker asks the controller for the
+trace's whole-file digest, checks its local staging directory for an
+already-staged copy (``<staging>/<digest>.rtr``), and only when that
+misses streams the bytes over the frame protocol.
+
+Staged files are verified before first use: the incoming stream is
+spooled to a temporary file, every chunk checksum and the whole-trace
+digest are re-validated with :meth:`TraceRecording.validate`, the
+result's digest is compared against the digest the fetch was keyed by,
+and only then is the file atomically renamed into place.  A torn or
+corrupted transfer can therefore never be mistaken for the real trace —
+it simply never appears under its digest name.
+
+The staging directory lives under the result cache
+(``<cache>/remote-staging``) so staged fetches are charged against
+``REPRO_CACHE_MAX_MB`` alongside recorded traces (see
+:meth:`ResultStore.info`'s nested ``traces`` accounting).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..errors import ReproError
+from .format import TraceFormatError, TraceRecording
+
+#: Subdirectory of the result cache holding digest-addressed staged
+#: traces fetched by remote workers.
+STAGING_SUBDIR = "remote-staging"
+
+#: Size of one ``trace-data`` frame payload when streaming a trace.
+FETCH_CHUNK_BYTES = 1 << 20
+
+
+class TraceFetchError(ReproError):
+    """A streamed trace failed verification or could not be staged."""
+
+
+def staging_dir(directory: Optional[Path | str] = None) -> Path:
+    """The digest-addressed staging directory under the result cache."""
+    from ..engine.store import resolve_cache_dir
+
+    path = resolve_cache_dir(directory) / STAGING_SUBDIR
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def staged_trace_path(digest: str, directory: Optional[Path | str] = None) -> Path:
+    """Where a trace with this whole-file digest is (or would be) staged."""
+    return staging_dir(directory) / f"{digest}.rtr"
+
+
+def iter_trace_bytes(
+    path: Path | str, chunk_bytes: int = FETCH_CHUNK_BYTES
+) -> Iterator[bytes]:
+    """Stream a trace file's raw bytes in bounded chunks (sender side)."""
+    with Path(path).open("rb") as fh:
+        while True:
+            block = fh.read(chunk_bytes)
+            if not block:
+                return
+            yield block
+
+
+class TraceStager:
+    """Receiver side: spool, verify against the digest, rename into place.
+
+    Feed the incoming stream with :meth:`feed`; :meth:`finish` verifies
+    the spooled file end to end and atomically publishes it under its
+    digest name.  :meth:`abort` (or a failed :meth:`finish`) removes the
+    temporary file, so interrupted transfers leave nothing behind.
+    """
+
+    def __init__(
+        self,
+        digest: str,
+        expected_bytes: Optional[int] = None,
+        directory: Optional[Path | str] = None,
+    ) -> None:
+        if not digest:
+            raise TraceFetchError("cannot stage a trace without its digest")
+        self.digest = digest
+        self.expected_bytes = expected_bytes
+        self.target = staged_trace_path(digest, directory)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.target.parent), prefix=".fetch-", suffix=".tmp"
+        )
+        self._tmp = Path(tmp_name)
+        self._handle = os.fdopen(fd, "wb")
+        self.received = 0
+
+    def feed(self, data: bytes) -> None:
+        """Append one frame's payload to the spool file."""
+        self._handle.write(data)
+        self.received += len(data)
+
+    def abort(self) -> None:
+        """Drop the partial transfer (idempotent)."""
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            self._tmp.unlink()
+        except OSError:
+            pass
+
+    def finish(self) -> Path:
+        """Verify the spooled trace and publish it under its digest name.
+
+        Validation re-reads every chunk (checksums included) and checks
+        the whole-trace digest twice over: once against the file's own
+        sealed end frame, once against the digest this fetch was keyed
+        by.  Only a fully intact, correctly-identified trace is renamed
+        into the staging directory.
+        """
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+        except OSError as error:
+            self.abort()
+            raise TraceFetchError(
+                f"staging trace {self.digest[:12]}: spool write failed "
+                f"({error})"
+            ) from None
+        if (
+            self.expected_bytes is not None
+            and self.received != self.expected_bytes
+        ):
+            self.abort()
+            raise TraceFetchError(
+                f"staging trace {self.digest[:12]}: received "
+                f"{self.received} bytes, expected {self.expected_bytes}"
+            )
+        try:
+            info = TraceRecording(self._tmp).validate()
+        except (TraceFormatError, OSError) as error:
+            self.abort()
+            raise TraceFetchError(
+                f"staging trace {self.digest[:12]}: transferred file "
+                f"failed validation ({error})"
+            ) from None
+        if info.digest != self.digest:
+            self.abort()
+            raise TraceFetchError(
+                f"staged trace digest mismatch: expected "
+                f"{self.digest[:12]}, transferred file hashes to "
+                f"{info.digest[:12]}"
+            )
+        try:
+            os.replace(self._tmp, self.target)
+        except OSError as error:
+            self.abort()
+            raise TraceFetchError(
+                f"staging trace {self.digest[:12]}: rename failed ({error})"
+            ) from None
+        return self.target

@@ -79,6 +79,10 @@ def isolated_env(tmp_path, monkeypatch):
         "REPRO_WATCHDOG",
         "REPRO_BREAKER_THRESHOLD",
         "REPRO_BREAKER_COOLDOWN",
+        "REPRO_HOSTS",
+        "REPRO_REMOTE_CONNECT_TIMEOUT",
+        "REPRO_REMOTE_DEADLINE",
+        "REPRO_REMOTE_FETCH",
     ):
         monkeypatch.delenv(var, raising=False)
     return tmp_path

@@ -303,9 +303,10 @@ class TestTelemetry:
         engine.run(small_jobs())
         path = engine.telemetry.write_manifest(tmp_path / "manifest.json")
         manifest = json.loads(open(path, encoding="utf-8").read())
-        assert manifest["manifest_version"] == 8
+        assert manifest["manifest_version"] == 9
         assert manifest["service"] == {}
         assert manifest["coordination"] == {}
+        assert manifest["fault_domains"] == {}  # purely local run
         substrate = manifest["substrate"]
         assert substrate["kernel_mode"] in ("scalar", "batched", "compiled")
         assert substrate["residual_impl"] in ("python", "compiled", "scalar")
